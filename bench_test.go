@@ -1,0 +1,340 @@
+// Package coolpim's top-level benchmark harness: one bench per table and
+// figure of the paper (regenerating its rows under testing.B and
+// reporting the headline quantity as a custom metric), plus
+// micro-benchmarks of the substrate components.
+//
+// The figure benches run on the reduced test profile so `go test
+// -bench=.` completes in minutes; `cmd/figures` regenerates the full
+// committed numbers (see EXPERIMENTS.md).
+package coolpim
+
+import (
+	"fmt"
+	"testing"
+
+	"coolpim/internal/cache"
+	"coolpim/internal/core"
+	"coolpim/internal/dram"
+	"coolpim/internal/experiments"
+	"coolpim/internal/flit"
+	"coolpim/internal/graph"
+	"coolpim/internal/hmc"
+	"coolpim/internal/kernels"
+	"coolpim/internal/mem"
+	"coolpim/internal/power"
+	"coolpim/internal/sim"
+	"coolpim/internal/system"
+	"coolpim/internal/thermal"
+	"coolpim/internal/units"
+)
+
+// ---- Tables ----
+
+func BenchmarkTable1FlitAccounting(b *testing.B) {
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Table1() {
+			total += r.ReqFlits + r.RespFlits
+		}
+	}
+	if total == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkTable2CoolingTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable3InstructionMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table3()) != 10 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---- Analytic figures (thermal model sweeps) ----
+
+func BenchmarkFig1PrototypeThermal(b *testing.B) {
+	var last units.Celsius
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig1()
+		last = pts[len(pts)-1].Die
+	}
+	b.ReportMetric(float64(last), "peakC")
+}
+
+func BenchmarkFig2ModelValidation(b *testing.B) {
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Fig2() {
+			d := float64(r.DieModeled - r.DieEstimated)
+			if d < 0 {
+				d = -d
+			}
+			diff = d
+		}
+	}
+	b.ReportMetric(diff, "absErrC")
+}
+
+func BenchmarkFig3HeatMap(b *testing.B) {
+	var peak units.Celsius
+	for i := 0; i < b.N; i++ {
+		peak = experiments.Fig3().LayerPeaks[1]
+	}
+	b.ReportMetric(float64(peak), "peakDRAMC")
+}
+
+func BenchmarkFig4BandwidthSweep(b *testing.B) {
+	var pts []experiments.Fig4Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig4(9)
+	}
+	b.ReportMetric(float64(pts[len(pts)-1].PeakDRAM), "highEnd320C")
+}
+
+func BenchmarkFig5PIMRateSweep(b *testing.B) {
+	var thr units.OpsPerNs
+	for i := 0; i < b.N; i++ {
+		thr = experiments.MaxSafePIMRate()
+	}
+	b.ReportMetric(float64(thr), "safeOpPerNs")
+}
+
+// ---- System figures (coupled GPU+HMC runs, reduced profile) ----
+
+// benchProfile is the reduced campaign configuration for benches.
+func benchProfile() experiments.Profile { return experiments.TestProfile() }
+
+func runSystem(b *testing.B, workload string, pol core.PolicyKind) *system.Result {
+	b.Helper()
+	p := benchProfile()
+	g := p.Graph()
+	var res *system.Result
+	for i := 0; i < b.N; i++ {
+		w, err := kernels.NewSized(workload, p.Reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = system.RunWorkload(w, pol, p.Sys, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			b.Fatal(res.VerifyErr)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig10Speedup regenerates the Fig. 10 rows: each sub-benchmark
+// runs one workload under one configuration and reports its speedup over
+// the baseline as a custom metric.
+func BenchmarkFig10Speedup(b *testing.B) {
+	pols := []core.PolicyKind{core.NaiveOffloading, core.CoolPIMHW, core.IdealThermal}
+	for _, wl := range kernels.Names() {
+		wl := wl
+		var base *system.Result
+		b.Run(wl+"/Non-Offloading", func(b *testing.B) {
+			base = runSystem(b, wl, core.NonOffloading)
+		})
+		for _, pol := range pols {
+			pol := pol
+			b.Run(fmt.Sprintf("%s/%v", wl, pol), func(b *testing.B) {
+				res := runSystem(b, wl, pol)
+				if base != nil {
+					b.ReportMetric(res.Speedup(base), "speedup")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Bandwidth reports normalized bandwidth for the naive
+// configuration of each workload.
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	for _, wl := range []string{"dc", "bfs-twc", "sssp-dwc", "pagerank"} {
+		wl := wl
+		b.Run(wl, func(b *testing.B) {
+			var norm float64
+			p := benchProfile()
+			g := p.Graph()
+			for i := 0; i < b.N; i++ {
+				base, err := system.Run(wl, core.NonOffloading, p.Sys, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := system.Run(wl, core.NaiveOffloading, p.Sys, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = res.NormalizedBW(base)
+			}
+			b.ReportMetric(norm, "normBW")
+		})
+	}
+}
+
+// BenchmarkFig12PIMRate reports the average offloading rate of the naive
+// configuration per workload.
+func BenchmarkFig12PIMRate(b *testing.B) {
+	for _, wl := range kernels.Names() {
+		wl := wl
+		b.Run(wl, func(b *testing.B) {
+			res := runSystem(b, wl, core.NaiveOffloading)
+			b.ReportMetric(float64(res.AvgPIMRate), "opPerNs")
+		})
+	}
+}
+
+// BenchmarkFig13PeakTemp reports the peak DRAM temperature of naive and
+// CoolPIM(HW) runs.
+func BenchmarkFig13PeakTemp(b *testing.B) {
+	for _, wl := range []string{"dc", "bfs-twc", "kcore"} {
+		for _, pol := range []core.PolicyKind{core.NaiveOffloading, core.CoolPIMHW} {
+			wl, pol := wl, pol
+			b.Run(fmt.Sprintf("%s/%v", wl, pol), func(b *testing.B) {
+				res := runSystem(b, wl, pol)
+				b.ReportMetric(float64(res.PeakDRAM), "peakC")
+			})
+		}
+	}
+}
+
+// BenchmarkFig14RateSeries regenerates the closed-loop time series.
+func BenchmarkFig14RateSeries(b *testing.B) {
+	p := benchProfile()
+	var n int
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig14Series(p, "sssp-twc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(series[core.NaiveOffloading])
+	}
+	b.ReportMetric(float64(n), "samples")
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkEventEngine(b *testing.B) {
+	eng := sim.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(units.Time(i%64), func(units.Time) {})
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkCubeReadThroughput(b *testing.B) {
+	eng := sim.New()
+	space := mem.NewSpace(1 << 22)
+	cube := hmc.New(eng, space, hmc.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cube.Submit(eng.Now(), flit.Request{Cmd: flit.CmdRead64, Addr: uint64(i) * 64}, func(flit.Response, units.Time) {})
+		if i%4096 == 4095 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	b.SetBytes(64)
+}
+
+func BenchmarkCubePIMThroughput(b *testing.B) {
+	eng := sim.New()
+	space := mem.NewSpace(1 << 22)
+	cube := hmc.New(eng, space, hmc.DefaultConfig())
+	buf := space.Alloc("x", 1<<20, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cube.Submit(eng.Now(), flit.Request{Cmd: flit.CmdPIMSignedAdd, Addr: buf.Addr(i % (1 << 20)), Imm: 1},
+			func(flit.Response, units.Time) {})
+		if i%4096 == 4095 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkThermalTransientStep(b *testing.B) {
+	m := thermal.New(thermal.HMC20Stack(), thermal.CommodityServer)
+	m.AddLayerPower(0, 20)
+	for l := 1; l <= 8; l++ {
+		m.AddLayerPower(l, 1.3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(10 * units.Microsecond)
+	}
+}
+
+func BenchmarkThermalSteadySolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := thermal.New(thermal.HMC20Stack(), thermal.CommodityServer)
+		m.AddLayerPower(0, 20.66)
+		for l := 1; l <= 8; l++ {
+			m.AddLayerPower(l, 10.47/8)
+		}
+		m.SolveSteady()
+	}
+}
+
+func BenchmarkDRAMBankSchedule(b *testing.B) {
+	var bank dram.Bank
+	tm := dram.DefaultTiming()
+	now := units.Time(0)
+	for i := 0; i < b.N; i++ {
+		_, free := bank.Schedule(now, dram.AccessKind(i%3), tm)
+		now = free
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.L2Config())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*64) % (1 << 22)
+		if !c.Access(addr, i%4 == 0) {
+			c.Fill(addr, false)
+		}
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := graph.GenRMAT(12, 8, graph.LDBCLikeParams(), int64(i))
+		if g.NumE() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkPowerModel(b *testing.B) {
+	m := power.HMC20()
+	act := power.FullBandwidth()
+	act.PIMRate = 3
+	var total units.Watt
+	for i := 0; i < b.N; i++ {
+		total = m.Compute(act).Total()
+	}
+	b.ReportMetric(float64(total), "watts")
+}
+
+func BenchmarkBFSReference(b *testing.B) {
+	g := graph.GenRMAT(14, 8, graph.LDBCLikeParams(), 3)
+	src := g.HighDegreeVertex(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.BFSLevels(g, src)
+	}
+}

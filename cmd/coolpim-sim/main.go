@@ -1,0 +1,114 @@
+// Command coolpim-sim runs one graph workload on the simulated GPU+HMC
+// platform under a chosen offloading policy and prints the run's
+// statistics — the single-experiment front end to the full system model.
+//
+// Example:
+//
+//	coolpim-sim -workload pagerank -policy coolpim-hw -scale 15 -cooling commodity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coolpim/internal/core"
+	"coolpim/internal/experiments"
+	"coolpim/internal/graph"
+	"coolpim/internal/kernels"
+	"coolpim/internal/system"
+	"coolpim/internal/thermal"
+)
+
+var policyNames = map[string]core.PolicyKind{
+	"baseline":   core.NonOffloading,
+	"naive":      core.NaiveOffloading,
+	"coolpim-sw": core.CoolPIMSW,
+	"coolpim-hw": core.CoolPIMHW,
+	"ideal":      core.IdealThermal,
+}
+
+var coolingNames = map[string]thermal.Cooling{
+	"passive":   thermal.Passive,
+	"low-end":   thermal.LowEndActive,
+	"commodity": thermal.CommodityServer,
+	"high-end":  thermal.HighEndActive,
+}
+
+func main() {
+	workload := flag.String("workload", "dc", "workload: "+strings.Join(kernels.Names(), ", "))
+	policy := flag.String("policy", "coolpim-hw", "policy: baseline, naive, coolpim-sw, coolpim-hw, ideal")
+	scale := flag.Int("scale", 14, "RMAT graph scale (2^scale vertices)")
+	edgeFactor := flag.Int("ef", 8, "edges per vertex")
+	seed := flag.Int64("seed", 42, "graph seed")
+	reps := flag.Int("reps", 1, "workload repetitions")
+	cooling := flag.String("cooling", "commodity", "cooling: passive, low-end, commodity, high-end")
+	series := flag.Bool("series", false, "print the PIM-rate/temperature time series")
+	flag.Parse()
+
+	pol, ok := policyNames[*policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	cool, ok := coolingNames[*cooling]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cooling %q\n", *cooling)
+		os.Exit(2)
+	}
+
+	cfg := experiments.ScaledConfig(*scale)
+	cfg.Cooling = cool
+
+	fmt.Printf("generating LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
+	g := graph.GenRMAT(*scale, *edgeFactor, graph.LDBCLikeParams(), *seed)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumV, g.NumE())
+
+	w, err := kernels.NewSized(*workload, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("running %s under %v with %s...\n\n", w.Name(), pol, cool.Name)
+	res, err := system.RunWorkload(w, pol, cfg, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	printResult(res)
+	if *series {
+		fmt.Println("\ntime series:")
+		fmt.Printf("%-10s %-12s %-14s %-10s %s\n", "t(ms)", "PIM(op/ns)", "extBW", "peakDRAM", "pool")
+		for _, s := range res.Series {
+			fmt.Printf("%-10.2f %-12.2f %-14v %-10s %d\n",
+				s.At.Milliseconds(), float64(s.PIMRate), s.ExtBW,
+				experiments.FmtCelsius(s.PeakDRAM), s.PoolSize)
+		}
+	}
+}
+
+func printResult(r *system.Result) {
+	fmt.Printf("workload:          %s\n", r.Workload)
+	fmt.Printf("policy:            %v\n", r.Policy)
+	fmt.Printf("cooling:           %s\n", r.Cooling)
+	fmt.Printf("simulated runtime: %v  (%d kernel launches)\n", r.Runtime, r.Launches)
+	fmt.Printf("avg PIM rate:      %v  (%d PIM ops)\n", r.AvgPIMRate, r.PIMOps)
+	fmt.Printf("avg external BW:   %v\n", r.AvgExtBW)
+	fmt.Printf("peak DRAM temp:    %s\n", experiments.FmtCelsius(r.PeakDRAM))
+	fmt.Printf("thermal warnings:  %d observed, %d control updates\n", r.WarningsSeen, r.ControlUpdates)
+	if r.InitialPoolSize >= 0 {
+		fmt.Printf("throttle state:    %d -> %d\n", r.InitialPoolSize, r.FinalPoolSize)
+	}
+	g := r.GPU
+	fmt.Printf("warp ops:          %d (divergence ratio %.2f)\n", g.WarpOps, g.DivergenceRatio())
+	fmt.Printf("atomics:           %d PIM lanes, %d host lanes\n", g.PIMLaneOps, g.HostLaneOps)
+	fmt.Printf("blocks:            %d PIM, %d non-PIM\n", g.PIMBlocks, g.NonPIMBlocks)
+	if r.Shutdown {
+		fmt.Println("STATUS:            THERMAL SHUTDOWN — the cube exceeded 105°C")
+	} else if r.VerifyErr != nil {
+		fmt.Printf("STATUS:            VERIFICATION FAILED: %v\n", r.VerifyErr)
+	} else {
+		fmt.Println("STATUS:            completed, results verified against sequential reference")
+	}
+}

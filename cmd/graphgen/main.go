@@ -1,0 +1,57 @@
+// Command graphgen generates the LDBC-like RMAT graphs the workloads run
+// on and reports their structure (degree histogram, hubs, component
+// count) — useful for sizing experiments and sanity-checking the
+// generator's power-law shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"coolpim/internal/graph"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "2^scale vertices")
+	edgeFactor := flag.Int("ef", 8, "edges per vertex")
+	seed := flag.Int64("seed", 42, "generator seed")
+	uniform := flag.Bool("uniform", false, "generate a uniform (Erdős–Rényi) graph instead of RMAT")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *uniform {
+		n := 1 << *scale
+		g = graph.GenUniform(n, *edgeFactor*n, *seed)
+		fmt.Printf("uniform graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
+	} else {
+		g = graph.GenRMAT(*scale, *edgeFactor, graph.LDBCLikeParams(), *seed)
+		fmt.Printf("LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
+	}
+
+	fmt.Printf("vertices: %d\nedges:    %d\n", g.NumV, g.NumE())
+	v, d := g.MaxOutDegree()
+	fmt.Printf("max out-degree: %d (vertex %d)\n", d, v)
+	_, comps := graph.ConnectedComponents(g)
+	fmt.Printf("weakly connected components: %d\n", comps)
+
+	fmt.Println("\nout-degree histogram (bucket = log2):")
+	hist := g.DegreeHistogram()
+	maxCount := 0
+	for _, c := range hist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for b, c := range hist {
+		if c == 0 {
+			continue
+		}
+		lo, hi := 0, 0
+		if b > 0 {
+			lo, hi = 1<<(b-1), 1<<b-1
+		}
+		bar := strings.Repeat("#", c*50/maxCount)
+		fmt.Printf("deg %6d-%-6d %8d %s\n", lo, hi, c, bar)
+	}
+}

@@ -1,0 +1,61 @@
+// graph-analytics: run the full GraphBIG workload suite of the paper's
+// evaluation (dc, four BFS variants, three SSSP variants, kcore,
+// pagerank) under a chosen policy and report speedups over the
+// non-offloading baseline — a miniature Fig. 10.
+//
+//	go run ./examples/graph-analytics            # CoolPIM(HW)
+//	go run ./examples/graph-analytics -policy naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"coolpim/internal/core"
+	"coolpim/internal/experiments"
+	"coolpim/internal/graph"
+	"coolpim/internal/kernels"
+	"coolpim/internal/system"
+)
+
+func main() {
+	policy := flag.String("policy", "coolpim-hw", "naive, coolpim-sw, coolpim-hw, ideal")
+	scale := flag.Int("scale", 13, "graph scale")
+	flag.Parse()
+
+	kinds := map[string]core.PolicyKind{
+		"naive":      core.NaiveOffloading,
+		"coolpim-sw": core.CoolPIMSW,
+		"coolpim-hw": core.CoolPIMHW,
+		"ideal":      core.IdealThermal,
+	}
+	pol, ok := kinds[*policy]
+	if !ok {
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	g := graph.GenRMAT(*scale, 8, graph.LDBCLikeParams(), 42)
+	cfg := experiments.ScaledConfig(*scale)
+	fmt.Printf("graph: %d vertices, %d edges; policy: %v\n\n", g.NumV, g.NumE(), pol)
+	fmt.Printf("%-10s %-12s %-12s %-10s %-10s %s\n",
+		"workload", "baseline", "runtime", "speedup", "PIM rate", "peak temp")
+
+	for _, name := range kernels.Names() {
+		base, err := system.Run(name, core.NonOffloading, cfg, g)
+		if err != nil {
+			log.Fatalf("%s baseline: %v", name, err)
+		}
+		res, err := system.Run(name, pol, cfg, g)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		status := ""
+		if res.VerifyErr != nil {
+			status = "VERIFY FAILED"
+		}
+		fmt.Printf("%-10s %-12v %-12v %-10.2f %-10.2f %-8.1f %s\n",
+			name, base.Runtime, res.Runtime, res.Speedup(base),
+			float64(res.AvgPIMRate), float64(res.PeakDRAM), status)
+	}
+}

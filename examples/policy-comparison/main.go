@@ -1,0 +1,77 @@
+// policy-comparison: run one workload under all five system
+// configurations of the paper's evaluation and show how the closed-loop
+// throttling plays out over time (a miniature Fig. 10 column plus the
+// Fig. 14 time series).
+//
+//	go run ./examples/policy-comparison -workload bfs-twc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"coolpim/internal/core"
+	"coolpim/internal/experiments"
+	"coolpim/internal/graph"
+	"coolpim/internal/kernels"
+	"coolpim/internal/system"
+)
+
+func main() {
+	workload := flag.String("workload", "bfs-twc", "workload name")
+	scale := flag.Int("scale", 14, "graph scale")
+	reps := flag.Int("reps", 1, "workload repetitions")
+	flag.Parse()
+
+	g := graph.GenRMAT(*scale, 8, graph.LDBCLikeParams(), 42)
+	cfg := experiments.ScaledConfig(*scale)
+	fmt.Printf("workload %s on %d vertices / %d edges\n\n", *workload, g.NumV, g.NumE())
+
+	results := map[core.PolicyKind]*system.Result{}
+	for _, pol := range core.Kinds() {
+		w, err := kernels.NewSized(*workload, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := system.RunWorkload(w, pol, cfg, g)
+		if err != nil {
+			log.Fatalf("%v: %v", pol, err)
+		}
+		if res.VerifyErr != nil {
+			log.Fatalf("%v: verification failed: %v", pol, res.VerifyErr)
+		}
+		results[pol] = res
+	}
+
+	base := results[core.NonOffloading]
+	fmt.Printf("%-18s %-12s %-9s %-11s %-10s %s\n",
+		"policy", "runtime", "speedup", "PIM rate", "peak temp", "warnings")
+	for _, pol := range core.Kinds() {
+		r := results[pol]
+		fmt.Printf("%-18v %-12v %-9.2f %-11.2f %-10.1f %d\n",
+			pol, r.Runtime, r.Speedup(base), float64(r.AvgPIMRate),
+			float64(r.PeakDRAM), r.WarningsSeen)
+	}
+
+	fmt.Println("\nPIM-rate time series (op/ns per 100µs window):")
+	fmt.Printf("%-8s %-10s %-12s %-12s\n", "t(ms)", "naive", "coolpim-sw", "coolpim-hw")
+	n := len(results[core.NaiveOffloading].Series)
+	for _, r := range []core.PolicyKind{core.CoolPIMSW, core.CoolPIMHW} {
+		if len(results[r].Series) > n {
+			n = len(results[r].Series)
+		}
+	}
+	cell := func(pol core.PolicyKind, i int) string {
+		s := results[pol].Series
+		if i >= len(s) {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(s[i].PIMRate))
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i+1) * 0.1
+		fmt.Printf("%-8.1f %-10s %-12s %-12s\n", t,
+			cell(core.NaiveOffloading, i), cell(core.CoolPIMSW, i), cell(core.CoolPIMHW, i))
+	}
+}

@@ -1,0 +1,84 @@
+// thermal-explorer: interactively explore the HMC 2.0 thermal model —
+// how peak DRAM temperature responds to data bandwidth, PIM offloading
+// rate and the cooling solution (the parameter space behind the paper's
+// Figs. 4 and 5).
+//
+//	go run ./examples/thermal-explorer
+//	go run ./examples/thermal-explorer -bw 320 -pim 4 -cooling high-end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"coolpim/internal/dram"
+	"coolpim/internal/power"
+	"coolpim/internal/thermal"
+	"coolpim/internal/units"
+)
+
+func solve(cool thermal.Cooling, bw units.BytesPerSecond, rate units.OpsPerNs) units.Celsius {
+	b := power.HMC20().Compute(power.Activity{
+		ExternalBW:        bw,
+		InternalRegularBW: bw,
+		PIMRate:           rate,
+	})
+	m := thermal.New(thermal.HMC20Stack(), cool)
+	m.AddLayerPower(0, b.LogicDie())
+	stack := thermal.HMC20Stack()
+	per := b.DRAMStack() / units.Watt(float64(stack.DRAMDies))
+	for l := 1; l <= stack.DRAMDies; l++ {
+		m.AddLayerPower(l, per)
+	}
+	m.SolveSteady()
+	return m.PeakDRAM()
+}
+
+func main() {
+	bw := flag.Float64("bw", -1, "data bandwidth GB/s (-1 = sweep)")
+	pim := flag.Float64("pim", -1, "PIM rate op/ns (-1 = sweep)")
+	coolName := flag.String("cooling", "commodity", "passive, low-end, commodity, high-end")
+	flag.Parse()
+
+	coolings := map[string]thermal.Cooling{
+		"passive": thermal.Passive, "low-end": thermal.LowEndActive,
+		"commodity": thermal.CommodityServer, "high-end": thermal.HighEndActive,
+	}
+	cool, ok := coolings[*coolName]
+	if !ok {
+		log.Fatalf("unknown cooling %q", *coolName)
+	}
+
+	if *bw >= 0 && *pim >= 0 {
+		t := solve(cool, units.GBps(*bw), units.OpsPerNs(*pim))
+		fmt.Printf("%s, %.0fGB/s + %.1f op/ns -> peak DRAM %.1f°C (%v)\n",
+			cool.Name, *bw, *pim, float64(t), dram.PhaseForTemp(t))
+		return
+	}
+
+	fmt.Printf("Peak DRAM temperature (°C) under %s\n", cool.Name)
+	fmt.Printf("rows: data bandwidth (GB/s); columns: PIM rate (op/ns)\n\n")
+	rates := []float64{0, 1, 1.3, 2, 3, 4, 5, 6.5}
+	fmt.Printf("%-10s", "BW\\rate")
+	for _, r := range rates {
+		fmt.Printf(" %6.1f", r)
+	}
+	fmt.Println()
+	for _, b := range []float64{0, 80, 160, 240, 320} {
+		fmt.Printf("%-10.0f", b)
+		for _, r := range rates {
+			t := solve(cool, units.GBps(b), units.OpsPerNs(r))
+			marker := ""
+			switch {
+			case t > 105:
+				marker = "*" // beyond operating limit
+			case t > 85:
+				marker = "!"
+			}
+			fmt.Printf(" %5.1f%-1s", float64(t), marker)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n'!' = above the normal range (derated), '*' = beyond the 105°C limit (shutdown)")
+}

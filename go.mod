@@ -1,0 +1,3 @@
+module coolpim
+
+go 1.24

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigs(t *testing.T) {
+	if err := L1Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := L2Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if L1Config().Sets() != 64 { // 16KB / (64B × 4 ways)
+		t.Errorf("L1 sets = %d, want 64", L1Config().Sets())
+	}
+	if L2Config().Sets() != 1024 { // 1MB / (64B × 16 ways)
+		t.Errorf("L2 sets = %d, want 1024", L2Config().Sets())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 60, Ways: 4},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 4},
+		{SizeBytes: 64 * 4 * 3, LineBytes: 64, Ways: 4}, // 3 sets
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(L1Config())
+	if c.Access(0x1000, false) {
+		t.Error("cold access hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Access(0x1000, false) {
+		t.Error("access after fill missed")
+	}
+	if !c.Access(0x1008, false) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1040, false) {
+		t.Error("next-line access hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Fills != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way set: fill 4 lines mapping to set 0, touch the first, then
+	// fill a 5th — the LRU (second) line must be evicted.
+	cfg := Config{SizeBytes: 64 * 4 * 4, LineBytes: 64, Ways: 4} // 4 sets
+	c := New(cfg)
+	setStride := uint64(64 * 4) // lines mapping to same set
+	addrs := []uint64{0, setStride, 2 * setStride, 3 * setStride}
+	for _, a := range addrs {
+		c.Fill(a, false)
+	}
+	c.Access(addrs[0], false) // refresh line 0
+	ev, dirty, has := c.Fill(4*setStride, false)
+	if !has {
+		t.Fatal("no eviction from full set")
+	}
+	if ev != addrs[1] || dirty {
+		t.Errorf("evicted %#x (dirty=%v), want %#x clean", ev, dirty, addrs[1])
+	}
+	if !c.Contains(addrs[0]) || c.Contains(addrs[1]) {
+		t.Error("wrong line evicted")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 2, LineBytes: 64, Ways: 2} // 1 set, 2 ways
+	c := New(cfg)
+	c.Fill(0, false)
+	c.Access(0, true) // dirty it
+	c.Fill(64, false)
+	ev, dirty, has := c.Fill(128, false)
+	if !has || !dirty || ev != 0 {
+		t.Errorf("eviction = %#x dirty=%v has=%v, want line 0 dirty", ev, dirty, has)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestFillDirty(t *testing.T) {
+	c := New(L1Config())
+	c.Fill(0x40, true) // e.g. a store miss fill
+	wasDirty, present := c.Invalidate(0x40)
+	if !present || !wasDirty {
+		t.Errorf("dirty fill lost: present=%v dirty=%v", present, wasDirty)
+	}
+}
+
+func TestDoubleFillKeepsDirty(t *testing.T) {
+	c := New(L1Config())
+	c.Fill(0x80, true)
+	ev, _, has := c.Fill(0x80, false) // refill same line clean
+	if has {
+		t.Errorf("refill evicted %#x", ev)
+	}
+	if wasDirty, _ := c.Invalidate(0x80); !wasDirty {
+		t.Error("refill dropped dirty bit")
+	}
+}
+
+func TestInvalidateMissing(t *testing.T) {
+	c := New(L1Config())
+	if d, p := c.Invalidate(0x123440); d || p {
+		t.Error("invalidate of absent line reported presence")
+	}
+}
+
+func TestResidentLines(t *testing.T) {
+	c := New(L1Config())
+	for i := 0; i < 10; i++ {
+		c.Fill(uint64(i*64), false)
+	}
+	if got := c.ResidentLines(); got != 10 {
+		t.Errorf("resident = %d", got)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(L1Config())
+	if c.LineAddr(0x1073) != 0x1040 {
+		t.Errorf("LineAddr = %#x", c.LineAddr(0x1073))
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty hit rate nonzero")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+}
+
+// TestCapacityInvariant (property): resident lines never exceed
+// capacity, and a fill after miss always makes the line resident.
+func TestCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 4}
+	c := New(cfg)
+	capacity := cfg.SizeBytes / cfg.LineBytes
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1<<16)) &^ 63
+		if !c.Access(addr, rng.Intn(2) == 0) {
+			c.Fill(addr, false)
+			if !c.Contains(addr) {
+				t.Fatalf("line %#x absent after fill", addr)
+			}
+		}
+		if r := c.ResidentLines(); r > capacity {
+			t.Fatalf("resident %d exceeds capacity %d", r, capacity)
+		}
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != 5000 {
+		t.Errorf("accesses = %d", s.Hits+s.Misses)
+	}
+}
+
+// TestEvictionAddressRoundTrip (property): the reconstructed victim
+// address maps back to the same set and is line-aligned.
+func TestEvictionAddressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := New(Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 2})
+	filled := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		addr := uint64(rng.Intn(1<<18)) &^ 63
+		if !c.Access(addr, false) {
+			ev, _, has := c.Fill(addr, false)
+			filled[addr] = true
+			if has {
+				if ev%64 != 0 {
+					t.Fatalf("victim %#x not line aligned", ev)
+				}
+				if !filled[ev] {
+					t.Fatalf("victim %#x was never filled", ev)
+				}
+				if c.Contains(ev) {
+					t.Fatalf("victim %#x still resident", ev)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	// A working set equal to capacity, accessed round-robin, must reach
+	// 100% hits after the first pass (LRU with round-robin reuse).
+	cfg := Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 4}
+	c := New(cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i*64), false)
+		c.Fill(uint64(i*64), false)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			if !c.Access(uint64(i*64), false) {
+				t.Fatalf("pass %d line %d missed", pass, i)
+			}
+		}
+	}
+}

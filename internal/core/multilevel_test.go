@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"coolpim/internal/sim"
+	"coolpim/internal/units"
+)
+
+func TestMultiLevelNormalWarningsBehaveLikeHWDynT(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 4, 64)
+	h.OnWarning(0, WarnNormal)
+	eng.Run()
+	for sm := 0; sm < 4; sm++ {
+		if h.Limit(sm) != 64-cfg.HWControlFactor {
+			t.Errorf("SM %d limit = %d", sm, h.Limit(sm))
+		}
+	}
+}
+
+func TestMultiLevelCriticalAppliesEmergencyFactor(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 2, 64)
+	h.OnWarning(0, WarnCritical)
+	eng.Run()
+	if h.Limit(0) != 64-cfg.CriticalFactor {
+		t.Errorf("limit = %d, want %d", h.Limit(0), 64-cfg.CriticalFactor)
+	}
+	_, applied, critical := h.Warnings()
+	if applied != 1 || critical != 1 {
+		t.Errorf("applied=%d critical=%d", applied, critical)
+	}
+}
+
+func TestMultiLevelCriticalBypassesSettle(t *testing.T) {
+	// A critical warning inside the normal settle window still acts
+	// (after only the short critical settle).
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 1, 64)
+	h.OnWarning(0, WarnNormal)
+	eng.RunUntil(cfg.HWThrottleDelay)
+	after := h.Limit(0)
+	if after != 64-cfg.HWControlFactor {
+		t.Fatalf("normal step missing: %d", after)
+	}
+	// Within the 1 ms normal settle, escalate.
+	eng.At(100*units.Microsecond, func(now units.Time) { h.OnWarning(now, WarnCritical) })
+	eng.RunUntil(150 * units.Microsecond)
+	if h.Limit(0) != after-cfg.CriticalFactor {
+		t.Errorf("critical step inside settle window: limit = %d, want %d",
+			h.Limit(0), after-cfg.CriticalFactor)
+	}
+}
+
+func TestMultiLevelCriticalStormDeduplicated(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 1, 256)
+	for i := 0; i < 50; i++ {
+		eng.At(units.Time(i)*units.Microsecond, func(now units.Time) {
+			h.OnWarning(now, WarnCritical)
+		})
+	}
+	eng.RunUntil(60 * units.Microsecond)
+	// All 50 critical warnings fall within one CriticalSettle window:
+	// exactly one emergency step.
+	if h.Limit(0) != 256-cfg.CriticalFactor {
+		t.Errorf("limit = %d, want one emergency step", h.Limit(0))
+	}
+}
+
+func TestMultiLevelFloorsAtZero(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 1, 16)
+	h.OnWarning(0, WarnCritical)
+	eng.Run()
+	if h.Limit(0) != 0 {
+		t.Errorf("limit = %d, want 0", h.Limit(0))
+	}
+	if h.WarpPIMEnabled(0, 0) {
+		t.Error("warp enabled at zero limit")
+	}
+}
+
+func TestMultiLevelPolicyClassification(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMultiLevelConfig()
+	h := NewMultiLevelHWDynT(eng, cfg, 1, 64)
+	level := WarnNormal
+	p := NewCoolPIMHWMultiLevel(h, func() WarningLevel { return level })
+	if p.Kind() != CoolPIMHW || !p.BlockLaunch() || !p.WarpPIMEnabled(0, 63) {
+		t.Fatal("policy basics wrong")
+	}
+	p.OnThermalWarning(0)
+	eng.Run()
+	if h.Limit(0) != 64-cfg.HWControlFactor {
+		t.Errorf("normal classification: limit = %d", h.Limit(0))
+	}
+	level = WarnCritical
+	eng.At(eng.Now()+2*units.Millisecond, func(now units.Time) { p.OnThermalWarning(now) })
+	eng.Run()
+	if h.Limit(0) != 64-cfg.HWControlFactor-cfg.CriticalFactor {
+		t.Errorf("critical classification: limit = %d", h.Limit(0))
+	}
+}
+
+func TestMultiLevelNilLevelFunc(t *testing.T) {
+	eng := sim.New()
+	h := NewMultiLevelHWDynT(eng, DefaultMultiLevelConfig(), 1, 8)
+	p := NewCoolPIMHWMultiLevel(h, nil)
+	p.OnThermalWarning(0) // defaults to WarnNormal; must not panic
+	eng.Run()
+}
+
+func TestMultiLevelBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	NewMultiLevelHWDynT(sim.New(), DefaultMultiLevelConfig(), 0, 8)
+}

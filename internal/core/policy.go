@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"coolpim/internal/units"
+)
+
+// PolicyKind names the five system configurations of the evaluation
+// (Section V-B).
+type PolicyKind int
+
+// Evaluation configurations.
+const (
+	// NonOffloading is the baseline: HMC as plain GPU memory, no PIM.
+	NonOffloading PolicyKind = iota
+	// NaiveOffloading offloads every PIM-eligible atomic with no source
+	// control (PEI-style).
+	NaiveOffloading
+	// CoolPIMSW is SW-DynT source throttling.
+	CoolPIMSW
+	// CoolPIMHW is HW-DynT source throttling.
+	CoolPIMHW
+	// IdealThermal offloads everything under unlimited cooling.
+	IdealThermal
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case NonOffloading:
+		return "Non-Offloading"
+	case NaiveOffloading:
+		return "Naive-Offloading"
+	case CoolPIMSW:
+		return "CoolPIM(SW)"
+	case CoolPIMHW:
+		return "CoolPIM(HW)"
+	case IdealThermal:
+		return "IdealThermal"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// Kinds returns all policies in presentation order (Fig. 10 legend).
+func Kinds() []PolicyKind {
+	return []PolicyKind{NonOffloading, NaiveOffloading, CoolPIMSW, CoolPIMHW, IdealThermal}
+}
+
+// ThermalEffectsDisabled reports whether the configuration assumes
+// unlimited cooling (the cube never derates, warns, or shuts down).
+func (k PolicyKind) ThermalEffectsDisabled() bool { return k == IdealThermal }
+
+// Policy is the interface the GPU model throttles through. The three
+// decision points mirror the paper's mechanisms: block launch (SW-DynT
+// selects the PIM or shadow kernel), decode-time warp translation
+// (HW-DynT's PCU check), and warning delivery.
+//
+// Policies may additionally implement OccupancyObserver to learn which
+// warp slots the thread-block manager actually occupies.
+type Policy interface {
+	Kind() PolicyKind
+	// BlockLaunch is consulted when the thread-block manager launches a
+	// block; true selects the PIM-enabled kernel entry point.
+	BlockLaunch() bool
+	// BlockComplete is notified when a block retires; wasPIM echoes the
+	// BlockLaunch decision so SW-DynT can return its token.
+	BlockComplete(wasPIM bool)
+	// WarpPIMEnabled is consulted at decode for each PIM instruction of
+	// a PIM-enabled block; false translates it to a host atomic.
+	WarpPIMEnabled(sm, warpSlot int) bool
+	// OnThermalWarning delivers a thermal-warning response observation.
+	OnThermalWarning(now units.Time)
+}
+
+// staticPolicy implements the three uncontrolled configurations.
+type staticPolicy struct {
+	kind PolicyKind
+	pim  bool
+}
+
+func (p *staticPolicy) Kind() PolicyKind             { return p.kind }
+func (p *staticPolicy) BlockLaunch() bool            { return p.pim }
+func (p *staticPolicy) BlockComplete(bool)           {}
+func (p *staticPolicy) WarpPIMEnabled(int, int) bool { return p.pim }
+func (p *staticPolicy) OnThermalWarning(units.Time)  {}
+
+// NewNonOffloading returns the baseline policy.
+func NewNonOffloading() Policy { return &staticPolicy{kind: NonOffloading} }
+
+// NewNaiveOffloading returns the PEI-style always-offload policy.
+func NewNaiveOffloading() Policy { return &staticPolicy{kind: NaiveOffloading, pim: true} }
+
+// NewIdealThermal returns the unlimited-cooling always-offload policy.
+func NewIdealThermal() Policy { return &staticPolicy{kind: IdealThermal, pim: true} }
+
+// swPolicy adapts SW-DynT to the Policy interface.
+type swPolicy struct {
+	dynt *SWDynT
+}
+
+// NewCoolPIMSW wraps a SW-DynT controller as a Policy.
+func NewCoolPIMSW(dynt *SWDynT) Policy { return &swPolicy{dynt: dynt} }
+
+func (p *swPolicy) Kind() PolicyKind { return CoolPIMSW }
+
+func (p *swPolicy) BlockLaunch() bool { return p.dynt.Pool().TryAcquire() }
+
+func (p *swPolicy) BlockComplete(wasPIM bool) {
+	if wasPIM {
+		p.dynt.Pool().Release()
+	}
+}
+
+// WarpPIMEnabled: within a PIM-enabled block every warp offloads (the
+// software mechanism controls only the block granularity).
+func (p *swPolicy) WarpPIMEnabled(int, int) bool { return true }
+
+func (p *swPolicy) OnThermalWarning(now units.Time) { p.dynt.OnThermalWarning(now) }
+
+// OccupancyObserver is implemented by policies whose throttling state
+// depends on real warp-slot occupancy (the hardware PCU mechanisms).
+type OccupancyObserver interface {
+	ObserveWarpSlot(sm, warpSlot int)
+}
+
+// hwPolicy adapts HW-DynT to the Policy interface.
+type hwPolicy struct {
+	dynt *HWDynT
+}
+
+// ObserveWarpSlot implements OccupancyObserver.
+func (p *hwPolicy) ObserveWarpSlot(sm, warpSlot int) { p.dynt.ObserveWarpSlot(sm, warpSlot) }
+
+// NewCoolPIMHW wraps a HW-DynT controller as a Policy.
+func NewCoolPIMHW(dynt *HWDynT) Policy { return &hwPolicy{dynt: dynt} }
+
+func (p *hwPolicy) Kind() PolicyKind { return CoolPIMHW }
+
+// BlockLaunch: all blocks run the PIM kernel; throttling happens at
+// decode via the PCUs.
+func (p *hwPolicy) BlockLaunch() bool { return true }
+
+func (p *hwPolicy) BlockComplete(bool) {}
+
+func (p *hwPolicy) WarpPIMEnabled(sm, warpSlot int) bool {
+	return p.dynt.WarpPIMEnabled(sm, warpSlot)
+}
+
+func (p *hwPolicy) OnThermalWarning(now units.Time) { p.dynt.OnThermalWarning(now) }

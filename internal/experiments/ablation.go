@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coolpim/internal/core"
+	"coolpim/internal/kernels"
+	"coolpim/internal/system"
+	"coolpim/internal/thermal"
+	"coolpim/internal/units"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: sweeps over
+// CoolPIM's design parameters that the paper discusses qualitatively
+// (control factor size, the delayed-control-update window, the Eq. 1
+// margin) plus the cooling-solution sensitivity and the footnote-4
+// multi-level warning extension.
+
+// AblationPoint is one row of an ablation sweep.
+type AblationPoint struct {
+	Label    string
+	Speedup  float64 // over the non-offloading baseline of the same setup
+	PIMRate  units.OpsPerNs
+	PeakDRAM units.Celsius
+	Updates  uint64
+	Shutdown bool
+}
+
+func runPair(p Profile, workload string, pol core.PolicyKind, cfg system.Config) (*system.Result, *system.Result, error) {
+	g := p.Graph()
+	w, err := kernels.NewSized(workload, p.Reps)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := system.RunWorkload(w, core.NonOffloading, cfg, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	w2, err := kernels.NewSized(workload, p.Reps)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := system.RunWorkload(w2, pol, cfg, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, base, nil
+}
+
+func point(label string, res, base *system.Result) AblationPoint {
+	return AblationPoint{
+		Label:    label,
+		Speedup:  res.Speedup(base),
+		PIMRate:  res.AvgPIMRate,
+		PeakDRAM: res.PeakDRAM,
+		Updates:  res.ControlUpdates,
+		Shutdown: res.Shutdown,
+	}
+}
+
+// AblationControlFactor sweeps HW-DynT's per-step PCU reduction: small
+// factors converge slowly (more time above 85 °C), large factors risk
+// under-tuning the offload intensity — the trade-off of Section IV-B.
+func AblationControlFactor(p Profile, workload string, factors []int) ([]AblationPoint, error) {
+	var pts []AblationPoint
+	for _, cf := range factors {
+		cfg := p.Sys
+		cfg.Throttle.HWControlFactor = cf
+		res, base, err := runPair(p, workload, core.CoolPIMHW, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point(fmt.Sprintf("CF=%d", cf), res, base))
+	}
+	return pts, nil
+}
+
+// AblationSettleTime sweeps the delayed-control-update window
+// (Tthermal): too short over-reduces during the thermal lag, too long
+// leaves the cube hot between steps (Section IV-C).
+func AblationSettleTime(p Profile, workload string, settles []units.Time) ([]AblationPoint, error) {
+	var pts []AblationPoint
+	for _, st := range settles {
+		cfg := p.Sys
+		cfg.Throttle.SettleTime = st
+		res, base, err := runPair(p, workload, core.CoolPIMHW, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point(fmt.Sprintf("settle=%v", st), res, base))
+	}
+	return pts, nil
+}
+
+// AblationMargin sweeps SW-DynT's Eq. 1 initialization margin ("we use a
+// margin of 4 thread blocks for our evaluation").
+func AblationMargin(p Profile, workload string, margins []int) ([]AblationPoint, error) {
+	var pts []AblationPoint
+	for _, m := range margins {
+		cfg := p.Sys
+		cfg.Throttle.Margin = m
+		res, base, err := runPair(p, workload, core.CoolPIMSW, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point(fmt.Sprintf("margin=%d", m), res, base))
+	}
+	return pts, nil
+}
+
+// AblationCooling runs naive offloading under each Table II cooling
+// solution: the stronger the sink, the later thermal trouble arrives.
+func AblationCooling(p Profile, workload string) ([]AblationPoint, error) {
+	var pts []AblationPoint
+	for _, cool := range thermal.Coolings() {
+		cfg := p.Sys
+		cfg.Cooling = cool
+		res, base, err := runPair(p, workload, core.NaiveOffloading, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point(cool.Name, res, base))
+	}
+	return pts, nil
+}
+
+// AblationMultiLevel compares standard HW-DynT against the footnote-4
+// two-level-warning extension under a deliberately weak heat sink, where
+// single-level feedback overshoots deep into the critical phase.
+func AblationMultiLevel(p Profile, workload string) ([]AblationPoint, error) {
+	weak := thermal.Cooling{Name: "weak sink", SinkResistance: 1.2, FanPowerRel: 1}
+	var pts []AblationPoint
+
+	cfg := p.Sys
+	cfg.Cooling = weak
+	res, base, err := runPair(p, workload, core.CoolPIMHW, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts = append(pts, point("single-level HW-DynT", res, base))
+
+	cfg2 := p.Sys
+	cfg2.Cooling = weak
+	cfg2.MultiLevelHW = true
+	res2, base2, err := runPair(p, workload, core.CoolPIMHW, cfg2)
+	if err != nil {
+		return nil, err
+	}
+	ml := point("multi-level HW-DynT (ext.)", res2, base2)
+	_ = base2
+	pts = append(pts, ml)
+	return pts, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"coolpim/internal/thermal"
+	"coolpim/internal/units"
+)
+
+// ablationProfile is TestProfile with a weak sink so thermal feedback
+// actually engages on the small test graph.
+func ablationProfile() Profile {
+	p := TestProfile()
+	p.Sys.Cooling = thermal.Cooling{Name: "weak", SinkResistance: 2.0, FanPowerRel: 1}
+	return p
+}
+
+func TestAblationControlFactor(t *testing.T) {
+	p := ablationProfile()
+	pts, err := AblationControlFactor(p, "dc", []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Speedup <= 0 || pt.PeakDRAM < 25 {
+			t.Errorf("implausible point %+v", pt)
+		}
+	}
+	// A larger control factor can only reduce (or equal) the residual
+	// offloading rate when warnings fire.
+	if pts[0].Updates > 0 && pts[1].Updates > 0 && pts[1].PIMRate > pts[0].PIMRate+0.5 {
+		t.Errorf("CF=32 rate %v far above CF=4 rate %v", pts[1].PIMRate, pts[0].PIMRate)
+	}
+}
+
+func TestAblationSettleTime(t *testing.T) {
+	p := ablationProfile()
+	pts, err := AblationSettleTime(p, "dc", []units.Time{200 * units.Microsecond, 2 * units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+}
+
+func TestAblationMargin(t *testing.T) {
+	p := ablationProfile()
+	pts, err := AblationMargin(p, "pagerank", []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Speedup <= 0 {
+			t.Errorf("bad point %+v", pt)
+		}
+	}
+}
+
+func TestAblationCooling(t *testing.T) {
+	pts, err := AblationCooling(TestProfile(), "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4 coolings", len(pts))
+	}
+	// Better sinks must never be hotter.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PeakDRAM > pts[i-1].PeakDRAM+0.5 {
+			t.Errorf("%s (%v) hotter than %s (%v)",
+				pts[i].Label, pts[i].PeakDRAM, pts[i-1].Label, pts[i-1].PeakDRAM)
+		}
+	}
+}
+
+func TestAblationMultiLevel(t *testing.T) {
+	pts, err := AblationMultiLevel(TestProfile(), "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	single, multi := pts[0], pts[1]
+	// The extension must not run hotter than single-level control, and
+	// neither may shut down.
+	if multi.PeakDRAM > single.PeakDRAM+1 {
+		t.Errorf("multi-level peak %v above single-level %v", multi.PeakDRAM, single.PeakDRAM)
+	}
+	if single.Shutdown || multi.Shutdown {
+		t.Error("ablation run shut down")
+	}
+}

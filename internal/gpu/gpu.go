@@ -1,0 +1,807 @@
+// Package gpu models the host GPU of the evaluation platform (Table IV):
+// 16 SMs at 1.4 GHz running 32-thread warps, per-SM L1D and a shared L2,
+// a per-warp coalescer, a thread-block manager wired to the throttling
+// policy (SW-DynT's token pool decides each block's kernel entry point;
+// HW-DynT's PCUs gate PIM translation per warp slot), and the memory
+// path into the HMC with GraphPIM-style uncacheable PIM-region handling.
+//
+// Execution is event-driven at warp-operation granularity: warps are
+// coroutines that suspend on memory operations and resume when the
+// timing model completes them, so per-warp behaviour is in-order while
+// the SM hides latency across warps — the first-order performance model
+// of a throughput GPU.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"coolpim/internal/cache"
+	"coolpim/internal/core"
+	"coolpim/internal/flit"
+	"coolpim/internal/hmc"
+	"coolpim/internal/mem"
+	"coolpim/internal/sim"
+	"coolpim/internal/simt"
+	"coolpim/internal/units"
+)
+
+// Config describes the GPU.
+type Config struct {
+	NumSMs         int
+	ClockGHz       float64
+	MaxBlocksPerSM int
+	MaxWarpsPerSM  int
+	L1             cache.Config
+	L2             cache.Config
+	// L1HitLatency / L2HitLatency are load-to-use latencies for hits at
+	// each level; misses additionally pay the HMC path.
+	L1HitLatency units.Time
+	L2HitLatency units.Time
+	// StoreLatency is the issue-to-retire time of stores and
+	// fire-and-forget atomics (they do not block the warp on memory).
+	StoreLatency units.Time
+}
+
+// DefaultConfig returns the Table IV host configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:         16,
+		ClockGHz:       1.4,
+		MaxBlocksPerSM: 16,
+		MaxWarpsPerSM:  64,
+		L1:             cache.L1Config(),
+		L2:             cache.L2Config(),
+		L1HitLatency:   units.FromNanoseconds(20),
+		L2HitLatency:   units.FromNanoseconds(110),
+		StoreLatency:   units.FromNanoseconds(4),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0 || c.ClockGHz <= 0:
+		return fmt.Errorf("gpu: bad SM count/clock %+v", c)
+	case c.MaxBlocksPerSM <= 0 || c.MaxWarpsPerSM <= 0:
+		return fmt.Errorf("gpu: bad occupancy limits %+v", c)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	return c.L2.Validate()
+}
+
+// CycleTime returns the duration of one core cycle.
+func (c Config) CycleTime() units.Time {
+	return units.Time(float64(units.Second) / (c.ClockGHz * 1e9))
+}
+
+// Stats aggregates GPU-side activity of one or more kernel launches.
+type Stats struct {
+	WarpOps       uint64
+	DivergentOps  uint64 // warp ops issued with a partial mask
+	ComputeOps    uint64
+	LoadOps       uint64
+	StoreOps      uint64
+	AtomicOps     uint64 // warp-level atomic ops
+	PIMLaneOps    uint64 // lane atomics offloaded as PIM packets
+	HostLaneOps   uint64 // lane atomics executed as host atomics
+	PIMBlocks     uint64
+	NonPIMBlocks  uint64
+	LoadLines     uint64 // coalesced 64B transactions from loads
+	StoreLines    uint64
+	UncachedLines uint64 // PIM-region (uncacheable) line transactions
+
+	// Latency accounting (sums of simulated time, for diagnostics).
+	LoadWaitTotal units.Time // issue-to-resume across blocking loads
+	AtomicStall   units.Time // issue-to-retire across posted atomics
+	AtomicWait    units.Time // issue-to-resume across returning atomics
+	ComputeBusy   units.Time
+}
+
+// DivergenceRatio returns the fraction of warp ops issued divergent.
+func (s Stats) DivergenceRatio() float64 {
+	if s.WarpOps == 0 {
+		return 0
+	}
+	return float64(s.DivergentOps) / float64(s.WarpOps)
+}
+
+// Launch describes one kernel grid.
+type Launch struct {
+	Name string
+	// Kernel is the PIM-enabled entry point; NonPIM is the shadow
+	// non-PIM code the compiler generated from the Table III mapping.
+	// They must compute the same result.
+	Kernel simt.KernelFunc
+	NonPIM simt.KernelFunc
+	Blocks int
+	// BlockDim is threads per block; must be a multiple of 32.
+	BlockDim int
+	// OnComplete fires when the last block retires.
+	OnComplete func(now units.Time)
+}
+
+type smState struct {
+	nextIssue  units.Time
+	l1         *cache.Cache
+	freeSlots  []int // block slot indices
+	liveBlocks int
+}
+
+type blockState struct {
+	id       int
+	isPIM    bool
+	sm       int
+	slot     int
+	live     int // running warps
+	kernelFn simt.KernelFunc
+}
+
+// GPU is the host processor model.
+type GPU struct {
+	cfg    Config
+	eng    *sim.Engine
+	space  *mem.Space
+	cube   *hmc.Cube
+	policy core.Policy
+
+	sms []*smState
+	l2  *cache.Cache
+
+	// PIMOffloadActive marks the PIM region as an active offloading
+	// target (set for every offloading configuration). Following the
+	// paper's PEI-style ISA approach, the region stays cacheable at the
+	// L2 — coherence with in-memory atomics is maintained by
+	// invalidating the accessed block on each PIM instruction — but its
+	// lines bypass the (non-coherent) per-SM L1s, as volatile GPU
+	// accesses do.
+	PIMOffloadActive bool
+
+	launch     *Launch
+	nextBlock  int
+	liveBlocks int
+	running    bool
+
+	stats  Stats
+	tagSeq uint64
+	cycle  units.Time
+}
+
+// New builds a GPU wired to an engine, functional memory, HMC cube and
+// throttling policy.
+func New(eng *sim.Engine, space *mem.Space, cube *hmc.Cube, policy core.Policy, cfg Config) *GPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &GPU{
+		cfg:    cfg,
+		eng:    eng,
+		space:  space,
+		cube:   cube,
+		policy: policy,
+		l2:     cache.New(cfg.L2),
+		cycle:  cfg.CycleTime(),
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s := &smState{l1: cache.New(cfg.L1)}
+		for slot := 0; slot < cfg.MaxBlocksPerSM; slot++ {
+			s.freeSlots = append(s.freeSlots, slot)
+		}
+		g.sms = append(g.sms, s)
+	}
+	return g
+}
+
+// Stats returns the accumulated statistics.
+func (g *GPU) Stats() Stats { return g.stats }
+
+// L2Stats returns the shared cache statistics.
+func (g *GPU) L2Stats() cache.Stats { return g.l2.Stats() }
+
+// Policy returns the active throttling policy.
+func (g *GPU) Policy() core.Policy { return g.policy }
+
+// RunKernel starts a kernel launch. Only one launch may be in flight at
+// a time (the harness runs kernels back to back, as the GraphBIG
+// workloads do).
+func (g *GPU) RunKernel(l *Launch) {
+	if g.running {
+		panic("gpu: kernel launch while another is running")
+	}
+	if l.Blocks <= 0 || l.BlockDim <= 0 || l.BlockDim%simt.WarpSize != 0 {
+		panic(fmt.Sprintf("gpu: bad launch geometry blocks=%d dim=%d", l.Blocks, l.BlockDim))
+	}
+	if l.Kernel == nil || l.NonPIM == nil {
+		panic("gpu: launch needs both PIM and non-PIM entry points")
+	}
+	g.launch = l
+	g.nextBlock = 0
+	g.liveBlocks = 0
+	g.running = true
+	g.dispatch()
+}
+
+// warpsPerBlock returns the warp count of the current launch's blocks.
+func (g *GPU) warpsPerBlock() int { return g.launch.BlockDim / simt.WarpSize }
+
+// blocksPerSMLimit bounds concurrent blocks per SM by both the block
+// slot count and the warp capacity.
+func (g *GPU) blocksPerSMLimit() int {
+	byWarps := g.cfg.MaxWarpsPerSM / g.warpsPerBlock()
+	if byWarps < 1 {
+		byWarps = 1
+	}
+	if byWarps > g.cfg.MaxBlocksPerSM {
+		return g.cfg.MaxBlocksPerSM
+	}
+	return byWarps
+}
+
+// dispatch assigns pending blocks to SMs with free capacity.
+func (g *GPU) dispatch() {
+	limit := g.blocksPerSMLimit()
+	for g.nextBlock < g.launch.Blocks {
+		// Pick the SM with the fewest live blocks (round-robin-ish,
+		// deterministic).
+		best := -1
+		for i, s := range g.sms {
+			if s.liveBlocks >= limit || len(s.freeSlots) == 0 {
+				continue
+			}
+			if best == -1 || s.liveBlocks < g.sms[best].liveBlocks {
+				best = i
+			}
+		}
+		if best == -1 {
+			return // all SMs full; blocks dispatch as others retire
+		}
+		g.startBlock(best)
+	}
+}
+
+func (g *GPU) startBlock(smID int) {
+	s := g.sms[smID]
+	// Occupy the lowest free block slot: PCUs gate PIM by warp-slot
+	// index counting up from zero, so resident blocks must pack into the
+	// low slots for warp-granularity throttling to shave intensity
+	// gradually rather than disabling whole waves.
+	min := 0
+	for i := 1; i < len(s.freeSlots); i++ {
+		if s.freeSlots[i] < s.freeSlots[min] {
+			min = i
+		}
+	}
+	slot := s.freeSlots[min]
+	s.freeSlots[min] = s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	s.liveBlocks++
+	g.liveBlocks++
+
+	isPIM := g.policy.BlockLaunch()
+	fn := g.launch.Kernel
+	if !isPIM {
+		fn = g.launch.NonPIM
+		g.stats.NonPIMBlocks++
+	} else {
+		g.stats.PIMBlocks++
+	}
+	b := &blockState{
+		id:       g.nextBlock,
+		isPIM:    isPIM,
+		sm:       smID,
+		slot:     slot,
+		live:     g.warpsPerBlock(),
+		kernelFn: fn,
+	}
+	g.nextBlock++
+
+	obs, hasObs := g.policy.(core.OccupancyObserver)
+	for w := 0; w < g.warpsPerBlock(); w++ {
+		if hasObs {
+			obs.ObserveWarpSlot(smID, slot*g.warpsPerBlock()+w)
+		}
+		run := simt.StartWarp(fn, simt.Ctx{
+			BlockID:     b.id,
+			WarpInBlock: w,
+			GlobalWarp:  b.id*g.warpsPerBlock() + w,
+			BlockDim:    g.launch.BlockDim,
+			GridDim:     g.launch.Blocks,
+		})
+		warpSlot := slot*g.warpsPerBlock() + w
+		wp := &warpState{gpu: g, block: b, run: run, slot: warpSlot}
+		g.eng.After(0, func(now units.Time) { wp.advance(now) })
+	}
+}
+
+func (g *GPU) blockDone(b *blockState, now units.Time) {
+	g.policy.BlockComplete(b.isPIM)
+	s := g.sms[b.sm]
+	s.freeSlots = append(s.freeSlots, b.slot)
+	s.liveBlocks--
+	g.liveBlocks--
+	if g.nextBlock < g.launch.Blocks {
+		g.dispatch()
+		return
+	}
+	if g.liveBlocks == 0 {
+		g.running = false
+		done := g.launch.OnComplete
+		g.launch = nil
+		if done != nil {
+			done(now)
+		}
+	}
+}
+
+type warpState struct {
+	gpu   *GPU
+	block *blockState
+	run   *simt.WarpRun
+	slot  int // warp slot within the SM (the PCU index)
+
+	// Outstanding async (software-pipelined) load, if any. The op buffer
+	// is shared and gets reused by subsequent ops, so the addresses are
+	// copied here at issue.
+	asyncAddr    [simt.WarpSize]uint64
+	asyncMask    simt.Mask
+	asyncPending int // outstanding line transactions
+	asyncIssue   units.Time
+	asyncWait    *simt.Op // non-nil while the warp is blocked in Wait
+}
+
+// advance resumes the warp: pull its next op and execute it.
+func (w *warpState) advance(now units.Time) {
+	op, ok := w.run.Next()
+	if !ok {
+		w.block.live--
+		if w.block.live == 0 {
+			w.gpu.blockDone(w.block, now)
+		}
+		return
+	}
+	g := w.gpu
+	g.stats.WarpOps++
+	if op.Mask.Divergent() {
+		g.stats.DivergentOps++
+	}
+
+	// Issue-slot arbitration: one op per SM per cycle.
+	s := g.sms[w.block.sm]
+	issueAt := max(now, s.nextIssue)
+	s.nextIssue = issueAt + g.cycle
+
+	switch op.Kind {
+	case simt.OpCompute:
+		g.stats.ComputeOps++
+		g.stats.ComputeBusy += units.Time(op.Cycles) * g.cycle
+		g.eng.At(issueAt+units.Time(op.Cycles)*g.cycle, w.advance)
+	case simt.OpLoad:
+		g.stats.LoadOps++
+		w.execLoad(op, issueAt)
+	case simt.OpLoadAsync:
+		g.stats.LoadOps++
+		w.execLoadAsync(op, issueAt)
+	case simt.OpWait:
+		w.execWait(op, issueAt)
+	case simt.OpStore:
+		g.stats.StoreOps++
+		w.execStore(op, issueAt)
+	case simt.OpAtomic:
+		g.stats.AtomicOps++
+		w.execAtomic(op, issueAt)
+	default:
+		panic(fmt.Sprintf("gpu: op kind %v", op.Kind))
+	}
+}
+
+// coalesce groups the active lanes' addresses into unique 64-byte lines.
+func coalesce(op *simt.Op) []uint64 {
+	var lines []uint64
+	seen := make(map[uint64]struct{}, 4)
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !op.Mask.Lane(lane) {
+			continue
+		}
+		line := op.Addr[lane] &^ 63
+		if _, dup := seen[line]; !dup {
+			seen[line] = struct{}{}
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+func (w *warpState) execLoad(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	lines := coalesce(op)
+	g.stats.LoadLines += uint64(len(lines))
+	remaining := len(lines)
+	finish := func(at units.Time) {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		g.stats.LoadWaitTotal += at - issueAt
+		// Deliver functional values at completion time.
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if op.Mask.Lane(lane) {
+				op.Out[lane] = g.space.Load32(op.Addr[lane])
+			}
+		}
+		w.advance(at)
+	}
+	for _, line := range lines {
+		g.lineAccess(w.block.sm, line, false, issueAt, finish)
+	}
+}
+
+// execLoadAsync starts the line transactions of a software-pipelined
+// load and lets the warp continue; execWait claims the values.
+func (w *warpState) execLoadAsync(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	w.asyncAddr = op.Addr
+	w.asyncMask = op.Mask
+	w.asyncIssue = issueAt
+	lines := coalesce(op)
+	g.stats.LoadLines += uint64(len(lines))
+	w.asyncPending = len(lines)
+	finish := func(at units.Time) {
+		w.asyncPending--
+		if w.asyncPending > 0 || w.asyncWait == nil {
+			return
+		}
+		w.completeWait(at)
+	}
+	for _, line := range lines {
+		g.lineAccess(w.block.sm, line, false, issueAt, finish)
+	}
+	// The warp continues after the issue slot.
+	g.eng.At(issueAt+g.cycle, w.advance)
+}
+
+func (w *warpState) execWait(op *simt.Op, issueAt units.Time) {
+	if w.asyncPending == 0 {
+		w.asyncWait = op
+		w.completeWait(issueAt)
+		return
+	}
+	w.asyncWait = op
+}
+
+// completeWait delivers the async load's values into the blocked Wait op
+// and resumes the warp.
+func (w *warpState) completeWait(at units.Time) {
+	g := w.gpu
+	op := w.asyncWait
+	w.asyncWait = nil
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if w.asyncMask.Lane(lane) {
+			op.Out[lane] = g.space.Load32(w.asyncAddr[lane])
+		}
+	}
+	g.stats.LoadWaitTotal += at - w.asyncIssue
+	w.advance(at)
+}
+
+func (w *warpState) execStore(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	// Functional effect at issue (deterministic program order).
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if op.Mask.Lane(lane) {
+			g.space.Store32(op.Addr[lane], op.Val[lane])
+		}
+	}
+	lines := coalesce(op)
+	g.stats.StoreLines += uint64(len(lines))
+	retire := issueAt + g.cfg.StoreLatency
+	for _, line := range lines {
+		acceptedAt := g.lineAccess(w.block.sm, line, true, issueAt, func(units.Time) {})
+		if acceptedAt > retire {
+			retire = acceptedAt
+		}
+	}
+	// Stores retire without blocking on the response, but credit flow
+	// control can delay acceptance.
+	g.eng.At(retire, w.advance)
+}
+
+// execAtomic handles a warp atomic: each active lane either offloads as
+// a PIM packet or executes as a host atomic, per the allocation
+// attribute and the throttling policy's decode-time decision.
+func (w *warpState) execAtomic(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	inPIMRegion := g.space.InPIMRegion(op.Addr[firstLane(op.Mask)])
+	offload := inPIMRegion && w.block.isPIM &&
+		g.policy.WarpPIMEnabled(w.block.sm, w.slot)
+
+	if offload {
+		w.execPIMAtomic(op, issueAt)
+		return
+	}
+	w.execHostAtomic(op, issueAt)
+}
+
+func firstLane(m simt.Mask) int {
+	for i := 0; i < simt.WarpSize; i++ {
+		if m.Lane(i) {
+			return i
+		}
+	}
+	panic("gpu: empty mask op")
+}
+
+// execPIMAtomic offloads the warp's atomic as PIM instruction packets.
+// No-return operations whose semantics allow it are aggregated at the
+// warp level first (same-address adds combine into one packet, mins into
+// one min, ...), exactly as GPU atomic units aggregate intra-warp
+// conflicts before they reach memory.
+func (w *warpState) execPIMAtomic(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	cmd, ok := hmc.MemOpToPIM(op.Atomic)
+	if !ok {
+		panic(fmt.Sprintf("gpu: atomic %v has no PIM encoding", op.Atomic))
+	}
+	g.stats.PIMLaneOps += uint64(op.Mask.Count())
+
+	if !op.NeedReturn {
+		packets := aggregatePIM(op)
+		retire := issueAt + g.cfg.StoreLatency
+		for _, p := range packets {
+			g.invalidateForPIM(p.addr)
+			g.tagSeq++
+			acceptedAt := g.submitAt(issueAt, flit.Request{
+				Tag: g.tagSeq, Cmd: cmd, Addr: p.addr, Imm: uint64(p.val), Imm2: uint64(p.cmp),
+			}, func(resp flit.Response, _ units.Time) { g.observe(resp) })
+			if acceptedAt > retire {
+				retire = acceptedAt
+			}
+		}
+		// Fire and forget: the warp continues once the link-layer
+		// credits clear (natural backpressure under congestion).
+		g.stats.AtomicStall += retire - issueAt
+		g.eng.At(retire, w.advance)
+		return
+	}
+
+	remaining := op.Mask.Count()
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !op.Mask.Lane(lane) {
+			continue
+		}
+		lane := lane
+		imm := op.Val[lane]
+		if op.Atomic == mem.AtomicSub {
+			imm = -imm // sub encodes as signed add of the negation
+		}
+		g.invalidateForPIM(op.Addr[lane])
+		g.tagSeq++
+		req := flit.Request{
+			Tag:        g.tagSeq,
+			Cmd:        cmd,
+			Addr:       op.Addr[lane],
+			Imm:        uint64(imm),
+			Imm2:       uint64(op.Cmp[lane]),
+			WithReturn: true,
+		}
+		g.submitAt(issueAt, req, func(resp flit.Response, at units.Time) {
+			g.observe(resp)
+			op.Out[lane] = uint32(resp.Data)
+			op.OutOK[lane] = resp.Atomic
+			remaining--
+			if remaining == 0 {
+				g.stats.AtomicWait += at - issueAt
+				w.advance(at)
+			}
+		})
+	}
+}
+
+type pimPacket struct {
+	addr uint64
+	val  uint32
+	cmp  uint32 // CAS compare operand
+}
+
+// aggregatePIM combines a no-return warp atomic's lanes into per-address
+// packets where the operation is combinable; non-combinable operations
+// (exch, CAS) stay one packet per lane.
+func aggregatePIM(op *simt.Op) []pimPacket {
+	var packets []pimPacket
+	idx := make(map[uint64]int, 4)
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !op.Mask.Lane(lane) {
+			continue
+		}
+		val := op.Val[lane]
+		if op.Atomic == mem.AtomicSub {
+			val = -val
+		}
+		addr := op.Addr[lane]
+		i, seen := idx[addr]
+		if !seen {
+			idx[addr] = len(packets)
+			packets = append(packets, pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]})
+			continue
+		}
+		switch op.Atomic {
+		case mem.AtomicAdd, mem.AtomicSub:
+			packets[i].val += val
+		case mem.AtomicFAdd:
+			f := math.Float32frombits(packets[i].val) + math.Float32frombits(val)
+			packets[i].val = math.Float32bits(f)
+		case mem.AtomicMin:
+			if val < packets[i].val {
+				packets[i].val = val
+			}
+		case mem.AtomicMax:
+			if val > packets[i].val {
+				packets[i].val = val
+			}
+		case mem.AtomicAnd:
+			packets[i].val &= val
+		case mem.AtomicOr:
+			packets[i].val |= val
+		case mem.AtomicXor:
+			packets[i].val ^= val
+		default:
+			// Not combinable: emit a separate packet.
+			packets = append(packets, pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]})
+		}
+	}
+	return packets
+}
+
+// execHostAtomic executes the warp atomic on the host path: functional
+// effect in program order, timing through the L2 atomic units.
+func (w *warpState) execHostAtomic(op *simt.Op, issueAt units.Time) {
+	g := w.gpu
+	lanes := 0
+	// Functional execution at issue, in lane order.
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !op.Mask.Lane(lane) {
+			continue
+		}
+		lanes++
+		val := op.Val[lane]
+		old, okA := g.space.Atomic(op.Atomic, op.Addr[lane], val, op.Cmp[lane])
+		op.Out[lane] = old
+		op.OutOK[lane] = okA
+	}
+	g.stats.HostLaneOps += uint64(lanes)
+
+	// Timing: atomics execute at the L2 atomic units (or memory-side
+	// for the uncacheable PIM region), one transaction per unique line.
+	// Atomics whose result the program consumes block the warp until the
+	// value returns; no-return atomics are posted — the warp continues
+	// once link credits clear, as on real GPUs.
+	lines := coalesce(op)
+	remaining := len(lines)
+	resume := func(at units.Time) {
+		remaining--
+		if remaining == 0 {
+			g.stats.AtomicWait += at - issueAt
+			w.advance(at)
+		}
+	}
+	posted := !op.NeedReturn
+	retire := issueAt + g.cfg.StoreLatency
+	for _, line := range lines {
+		// The atomic executes at the L2: read-modify-write marks the
+		// line dirty; misses fetch from the HMC.
+		acceptedAt := g.l2AtomicAccess(line, issueAt, posted, resume)
+		if acceptedAt > retire {
+			retire = acceptedAt
+		}
+	}
+	if posted || len(lines) == 0 {
+		g.stats.AtomicStall += retire - issueAt
+		g.eng.At(retire, w.advance)
+	}
+}
+
+// l2AtomicAccess performs an atomic's line access at the L2 level
+// (bypassing L1, as GPU global atomics do). When posted, done is not
+// called — the returned accepted time is the retire point.
+func (g *GPU) l2AtomicAccess(line uint64, issueAt units.Time, posted bool, done func(at units.Time)) (acceptedAt units.Time) {
+	if g.l2.Access(line, true) {
+		if !posted {
+			g.eng.At(issueAt+g.cfg.L2HitLatency, done)
+		}
+		return issueAt
+	}
+	g.tagSeq++
+	return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
+		func(resp flit.Response, at units.Time) {
+			g.observe(resp)
+			g.fillL2(line, true)
+			if !posted {
+				done(at)
+			}
+		})
+}
+
+// lineAccess runs a 64-byte load/store line through the hierarchy on
+// behalf of a warp running on SM smID. The returned acceptedAt is the
+// earliest time a posted (non-blocking) operation may be considered
+// retired — it reflects link-credit backpressure for uncacheable
+// accesses and is just the issue time for cache-accepted ones.
+func (g *GPU) lineAccess(smID int, line uint64, write bool, issueAt units.Time, done func(at units.Time)) (acceptedAt units.Time) {
+	if g.PIMOffloadActive && g.space.InPIMRegion(line) {
+		// Volatile path: skip the non-coherent L1, access the L2.
+		g.stats.UncachedLines++
+		if g.l2.Access(line, write) {
+			g.eng.At(issueAt+g.cfg.L2HitLatency, done)
+			return issueAt
+		}
+		g.tagSeq++
+		return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
+			func(resp flit.Response, at units.Time) {
+				g.observe(resp)
+				g.fillL2(line, write)
+				done(at)
+			})
+	}
+	l1 := g.sms[smID].l1
+	if l1.Access(line, write) {
+		g.eng.At(issueAt+g.cfg.L1HitLatency, done)
+		return issueAt
+	}
+	if g.l2.Access(line, false) {
+		g.fillL1(l1, line, write)
+		g.eng.At(issueAt+g.cfg.L2HitLatency, done)
+		return issueAt
+	}
+	// L2 miss: fetch from the cube.
+	g.tagSeq++
+	return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
+		func(resp flit.Response, at units.Time) {
+			g.observe(resp)
+			g.fillL2(line, false)
+			g.fillL1(l1, line, write)
+			done(at)
+		})
+}
+
+func (g *GPU) fillL1(l1 *cache.Cache, line uint64, dirty bool) {
+	ev, evDirty, has := l1.Fill(line, dirty)
+	if has && evDirty {
+		// Dirty L1 victim folds into L2.
+		if !g.l2.Access(ev, true) {
+			g.fillL2(ev, true)
+		}
+	}
+}
+
+// invalidateForPIM maintains PEI-style coherence: the cache block a PIM
+// instruction is about to modify in memory is dropped from the L2 (a
+// dirty copy would be stale the moment the in-memory RMW executes; the
+// functional image is shared, so only the timing effect matters here).
+func (g *GPU) invalidateForPIM(addr uint64) {
+	g.l2.Invalidate(g.l2.LineAddr(addr))
+}
+
+func (g *GPU) fillL2(line uint64, dirty bool) {
+	ev, evDirty, has := g.l2.Fill(line, dirty)
+	if has && evDirty {
+		// Dirty L2 victim writes back to the cube (fire and forget).
+		g.tagSeq++
+		g.cube.Submit(g.eng.Now(), flit.Request{Tag: g.tagSeq, Cmd: flit.CmdWrite64, Addr: ev},
+			func(resp flit.Response, _ units.Time) { g.observe(resp) })
+	}
+}
+
+// submitAt injects a request into the cube with link entry no earlier
+// than t, returning the credit-clear (accepted) time.
+func (g *GPU) submitAt(t units.Time, req flit.Request, done func(flit.Response, units.Time)) units.Time {
+	return g.cube.Submit(t, req, done)
+}
+
+// observe inspects every response for the thermal-warning ERRSTAT and
+// forwards it to the throttling policy.
+func (g *GPU) observe(resp flit.Response) {
+	if resp.ThermalWarning() {
+		g.policy.OnThermalWarning(g.eng.Now())
+	}
+}

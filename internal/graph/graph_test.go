@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// tiny returns a small hand-built graph:
+//
+//	0 -> 1 (w1), 0 -> 2 (w4)
+//	1 -> 2 (w1), 1 -> 3 (w7)
+//	2 -> 3 (w2)
+//	4 isolated
+func tiny() *Graph {
+	return FromEdgeList(5,
+		[]uint32{0, 0, 1, 1, 2},
+		[]uint32{1, 2, 2, 3, 3},
+		[]uint32{1, 4, 1, 7, 2})
+}
+
+func TestFromEdgeList(t *testing.T) {
+	g := tiny()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumE() != 5 || g.NumV != 5 {
+		t.Errorf("V=%d E=%d", g.NumV, g.NumE())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(4) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.OutDegree(0), g.OutDegree(4))
+	}
+	n := g.Neighbors(1)
+	if len(n) != 2 || n[0] != 2 || n[1] != 3 {
+		t.Errorf("neighbors(1) = %v", n)
+	}
+	w := g.EdgeWeights(0)
+	if w[0] != 1 || w[1] != 4 {
+		t.Errorf("weights(0) = %v", w)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := map[string]func(*Graph){
+		"offset len":   func(g *Graph) { g.Offsets = g.Offsets[:3] },
+		"bad target":   func(g *Graph) { g.Edges[0] = 99 },
+		"zero weight":  func(g *Graph) { g.Weights[0] = 0 },
+		"inf weight":   func(g *Graph) { g.Weights[1] = Infinity },
+		"nonmonotonic": func(g *Graph) { g.Offsets[1] = 5; g.Offsets[2] = 2 },
+	}
+	for name, corrupt := range cases {
+		g := tiny()
+		corrupt(g)
+		if g.Validate() == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := tiny()
+	lv := BFSLevels(g, 0)
+	want := []uint32{0, 1, 1, 2, Infinity}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, lv[i], want[i])
+		}
+	}
+}
+
+func TestSSSP(t *testing.T) {
+	g := tiny()
+	d := SSSPDistances(g, 0)
+	want := []uint32{0, 1, 2, 4, Infinity} // 0->1->2 (2) beats 0->2 (4); 0->1->2->3 = 4
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestPageRankConservation(t *testing.T) {
+	g := GenRMAT(8, 8, LDBCLikeParams(), 42)
+	rank := PageRankRef(g, 10, 0.85)
+	// Ranks are positive. (Mass is not exactly conserved in push-style
+	// PR with zero-out-degree vertices, but the total must stay O(1).)
+	sum := float32(0)
+	for _, r := range rank {
+		if r <= 0 {
+			t.Fatalf("non-positive rank %v", r)
+		}
+		sum += r
+	}
+	if sum < 0.2 || sum > 1.5 {
+		t.Errorf("total rank = %v, want O(1)", sum)
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := tiny()
+	dc := DegreeCentrality(g)
+	want := []uint32{2, 3, 3, 2, 0} // out+in: v0:2+0, v1:2+1, v2:1+2, v3:0+2, v4:0
+	for i := range want {
+		if dc[i] != want[i] {
+			t.Errorf("dc[%d] = %d, want %d", i, dc[i], want[i])
+		}
+	}
+}
+
+func TestKCore(t *testing.T) {
+	g := tiny()
+	removed, remaining := KCore(g, 3)
+	// Undirected degrees: v0:2 v1:3 v2:3 v3:2 v4:0. Removing v0,v3,v4
+	// drops v1,v2 below 3 -> everything removed.
+	if remaining != 0 {
+		t.Errorf("3-core remaining = %d, want 0 (removed=%v)", remaining, removed)
+	}
+	_, rem1 := KCore(g, 1)
+	if rem1 != 4 {
+		t.Errorf("1-core remaining = %d, want 4 (only isolated vertex drops)", rem1)
+	}
+	_, rem0 := KCore(g, 0)
+	if rem0 != 5 {
+		t.Errorf("0-core remaining = %d, want 5", rem0)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := tiny()
+	labels, count := ConnectedComponents(g)
+	if count != 2 {
+		t.Errorf("components = %d, want 2", count)
+	}
+	if labels[0] != labels[3] || labels[4] == labels[0] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestGenRMATDeterministic(t *testing.T) {
+	a := GenRMAT(8, 4, LDBCLikeParams(), 7)
+	b := GenRMAT(8, 4, LDBCLikeParams(), 7)
+	if a.NumE() != b.NumE() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := GenRMAT(8, 4, LDBCLikeParams(), 8)
+	same := c.NumE() == a.NumE()
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenRMATStructure(t *testing.T) {
+	g := GenRMAT(10, 8, LDBCLikeParams(), 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV != 1024 {
+		t.Errorf("NumV = %d", g.NumV)
+	}
+	if g.NumE() != 8*1024 {
+		t.Errorf("NumE = %d, want 8192", g.NumE())
+	}
+	// No self loops; no duplicate edges (FromEdgeList sorted them).
+	for v := 0; v < g.NumV; v++ {
+		n := g.Neighbors(v)
+		for i, d := range n {
+			if int(d) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if i > 0 && n[i-1] == d {
+				t.Fatalf("duplicate edge %d->%d", v, d)
+			}
+		}
+	}
+}
+
+// TestRMATPowerLaw: the LDBC-like parameters must produce a heavy tail —
+// the max degree far exceeds the mean, unlike a uniform graph.
+func TestRMATPowerLaw(t *testing.T) {
+	r := GenRMAT(12, 8, LDBCLikeParams(), 3)
+	u := GenUniform(4096, 8*4096, 3)
+	_, rMax := r.MaxOutDegree()
+	_, uMax := u.MaxOutDegree()
+	mean := 8.0
+	if float64(rMax) < 8*mean {
+		t.Errorf("RMAT max degree %d not heavy-tailed (mean %v)", rMax, mean)
+	}
+	if rMax <= 2*uMax {
+		t.Errorf("RMAT max degree %d not clearly above uniform max %d", rMax, uMax)
+	}
+	hist := r.DegreeHistogram()
+	if len(hist) < 6 {
+		t.Errorf("degree histogram too narrow: %v", hist)
+	}
+}
+
+func TestGenUniform(t *testing.T) {
+	g := GenUniform(100, 500, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumE() != 500 {
+		t.Errorf("NumE = %d", g.NumE())
+	}
+}
+
+func TestInDegrees(t *testing.T) {
+	g := tiny()
+	in := g.InDegrees()
+	want := []uint32{0, 1, 2, 2, 0}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Errorf("in[%d] = %d, want %d", i, in[i], want[i])
+		}
+	}
+}
+
+func TestHighDegreeVertex(t *testing.T) {
+	g := GenRMAT(8, 8, LDBCLikeParams(), 5)
+	v := g.HighDegreeVertex(0)
+	_, maxDeg := g.MaxOutDegree()
+	if g.OutDegree(v) != maxDeg {
+		t.Errorf("HighDegreeVertex degree %d, max %d", g.OutDegree(v), maxDeg)
+	}
+}
+
+func TestGenPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"scale 0":    func() { GenRMAT(0, 4, LDBCLikeParams(), 1) },
+		"bad params": func() { GenRMAT(4, 4, RMATParams{A: 0.9, B: 0.1, C: 0.1}, 1) },
+		"dense":      func() { GenUniform(4, 100, 1) },
+		"tiny":       func() { GenUniform(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBFSSSSPAgreeOnUnitWeights: with all weights 1, SSSP distances
+// equal BFS levels.
+func TestBFSSSSPAgreeOnUnitWeights(t *testing.T) {
+	base := GenRMAT(9, 6, LDBCLikeParams(), 13)
+	for i := range base.Weights {
+		base.Weights[i] = 1
+	}
+	src := base.HighDegreeVertex(0)
+	lv := BFSLevels(base, src)
+	d := SSSPDistances(base, src)
+	for v := range lv {
+		if lv[v] != d[v] {
+			t.Fatalf("vertex %d: BFS %d vs SSSP %d", v, lv[v], d[v])
+		}
+	}
+}
+
+func TestPageRankRespondsToStructure(t *testing.T) {
+	// A hub receiving many edges must outrank a leaf.
+	src := []uint32{1, 2, 3, 4}
+	dst := []uint32{0, 0, 0, 0}
+	w := []uint32{1, 1, 1, 1}
+	g := FromEdgeList(5, src, dst, w)
+	r := PageRankRef(g, 20, 0.85)
+	for v := 1; v < 5; v++ {
+		if r[0] <= r[v] {
+			t.Errorf("hub rank %v not above leaf %d rank %v", r[0], v, r[v])
+		}
+	}
+	if math.IsNaN(float64(r[0])) {
+		t.Error("NaN rank")
+	}
+}

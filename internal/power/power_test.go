@@ -1,0 +1,129 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolpim/internal/units"
+)
+
+func approx(got, want units.Watt, tol float64) bool {
+	return math.Abs(float64(got-want)) <= tol
+}
+
+// TestFullBandwidthPower pins the Section V-A arithmetic: at 320 GB/s,
+// logic = 6.78 pJ/bit × 2.56 Tbit/s = 17.36 W, DRAM = 3.7 pJ/bit ×
+// 2.56 Tbit/s = 9.47 W. The paper cross-checks this total against the
+// high-end fan (13 W ≈ "almost half as much as the power of a
+// fully-utilized HMC 2.0 cube").
+func TestFullBandwidthPower(t *testing.T) {
+	b := HMC20().Compute(FullBandwidth())
+	if !approx(b.Logic, 17.3568, 1e-6) {
+		t.Errorf("logic power = %v, want 17.3568W", b.Logic)
+	}
+	if !approx(b.DRAM, 9.472, 1e-6) {
+		t.Errorf("DRAM power = %v, want 9.472W", b.DRAM)
+	}
+	if b.FU != 0 {
+		t.Errorf("FU power = %v with no PIM", b.FU)
+	}
+	// Total ~30.8W; twice the 13W high-end fan is ~26W, same ballpark.
+	if b.Total() < 26 || b.Total() > 34 {
+		t.Errorf("full-BW total = %v, want ~27-31W", b.Total())
+	}
+}
+
+func TestIdlePower(t *testing.T) {
+	b := HMC20().Compute(Idle())
+	if b.Logic != 0 || b.DRAM != 0 || b.FU != 0 {
+		t.Errorf("idle dynamic power nonzero: %+v", b)
+	}
+	if b.Total() != HMC20().StaticLogic+HMC20().StaticDRAM {
+		t.Errorf("idle total = %v", b.Total())
+	}
+}
+
+func TestPIMInternalTraffic(t *testing.T) {
+	// Each PIM op reads and writes 16 bytes internally: at 1 op/ns that
+	// is 32 GB/s of extra DRAM traffic.
+	a := Activity{PIMRate: 1}
+	if got := a.PIMInternalBW(); got.GBps() != 32 {
+		t.Errorf("PIM internal BW at 1 op/ns = %v, want 32GB/s", got)
+	}
+	// The paper notes internal DRAM utilization "can exceed 320 GB/s":
+	// at full external BW plus 6.5 op/ns, internal traffic is 528 GB/s.
+	a = Activity{ExternalBW: units.GBps(320), InternalRegularBW: units.GBps(320), PIMRate: 6.5}
+	if got := a.InternalRegularBW + a.PIMInternalBW(); got.GBps() != 528 {
+		t.Errorf("internal BW = %v, want 528GB/s", got)
+	}
+}
+
+func TestFUPowerFormula(t *testing.T) {
+	// Power(FU) = E × FUwidth × PIMrate.
+	m := HMC20()
+	b := m.Compute(Activity{PIMRate: 2})
+	want := units.Watt(float64(m.FUEnergyPerBit) * 128 * 2e9)
+	if !approx(b.FU, want, 1e-9) {
+		t.Errorf("FU power = %v, want %v", b.FU, want)
+	}
+}
+
+func TestBudgetDecomposition(t *testing.T) {
+	b := Budget{StaticLogic: 3, StaticDRAM: 1, Logic: 10, DRAM: 5, FU: 2}
+	if b.Total() != 21 {
+		t.Errorf("total = %v", b.Total())
+	}
+	if b.LogicDie() != 15 {
+		t.Errorf("logic die = %v, want 15 (static+dynamic+FU)", b.LogicDie())
+	}
+	if b.DRAMStack() != 6 {
+		t.Errorf("DRAM stack = %v, want 6", b.DRAMStack())
+	}
+	if b.LogicDie()+b.DRAMStack() != b.Total() {
+		t.Error("die split does not sum to total")
+	}
+}
+
+// TestPowerMonotonicInActivity: more bandwidth or more PIM never lowers
+// any power component.
+func TestPowerMonotonicInActivity(t *testing.T) {
+	m := HMC20()
+	f := func(bw1, bw2, r1, r2 uint16) bool {
+		lo := Activity{
+			ExternalBW:        units.GBps(float64(min(bw1, bw2)) / 200),
+			InternalRegularBW: units.GBps(float64(min(bw1, bw2)) / 200),
+			PIMRate:           units.OpsPerNs(float64(min(r1, r2)) / 1e4),
+		}
+		hi := Activity{
+			ExternalBW:        units.GBps(float64(max(bw1, bw2)) / 200),
+			InternalRegularBW: units.GBps(float64(max(bw1, bw2)) / 200),
+			PIMRate:           units.OpsPerNs(float64(max(r1, r2)) / 1e4),
+		}
+		bl, bh := m.Compute(lo), m.Compute(hi)
+		return bh.Total() >= bl.Total() && bh.FU >= bl.FU && bh.DRAM >= bl.DRAM
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHMC11HasNoPIM(t *testing.T) {
+	b := HMC11().Compute(Activity{PIMRate: 5})
+	if b.FU != 0 {
+		t.Errorf("HMC 1.1 FU power = %v, want 0 (no PIM support)", b.FU)
+	}
+}
+
+func TestHMC11IdleHotterThanHMC20(t *testing.T) {
+	// First-generation HMC drew more static power; the Fig. 1 idle
+	// temperatures only make sense with a substantial idle floor.
+	i11 := HMC11().Compute(Idle()).Total()
+	i20 := HMC20().Compute(Idle()).Total()
+	if i11 <= i20 {
+		t.Errorf("HMC1.1 idle %v <= HMC2.0 idle %v", i11, i20)
+	}
+	if i11 < 8 {
+		t.Errorf("HMC1.1 idle %v too low to reproduce Fig. 1 idle temps", i11)
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides the discrete-event simulation kernel that every
+// timed component in the CoolPIM system (GPU, HMC, thermal model,
+// throttling controllers) is scheduled on. It plays the role the
+// Structural Simulation Toolkit (SST) plays in the paper's evaluation
+// infrastructure: a single global event queue with deterministic
+// ordering, plus periodic "ticker" helpers for polled components such as
+// the thermal integrator.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"coolpim/internal/units"
+)
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func(now units.Time)
+
+type item struct {
+	at  units.Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready
+// to use. Engines are not safe for concurrent use; the simulation is
+// single-threaded and deterministic by design.
+type Engine struct {
+	now    units.Time
+	seq    uint64
+	queue  eventHeap
+	nSteps uint64
+	halted bool
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it always indicates a component bug, and silently
+// reordering time would destroy causality.
+func (e *Engine) At(t units.Time, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until either fn returns false or the engine halts.
+func (e *Engine) Every(period units.Time, fn func(now units.Time) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	var tick Event
+	tick = func(now units.Time) {
+		if !fn(now) {
+			return
+		}
+		e.At(now+period, tick)
+	}
+	e.At(e.now+period, tick)
+}
+
+// Halt stops the engine: Run and RunUntil return after the current event
+// finishes. Pending events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// step executes the next event. It reports false when the queue is empty
+// or the engine is halted.
+func (e *Engine) step(limit units.Time) bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	if e.queue[0].at > limit {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	e.nSteps++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called. It
+// returns the final simulated time.
+func (e *Engine) Run() units.Time {
+	const maxTime = units.Time(1<<63 - 1)
+	for e.step(maxTime) {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if it is ahead of the last event). It returns the final time.
+func (e *Engine) RunUntil(t units.Time) units.Time {
+	for e.step(t) {
+	}
+	if !e.halted && e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextEventTime returns the timestamp of the earliest queued event and
+// whether one exists.
+func (e *Engine) NextEventTime() (units.Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}

@@ -1,0 +1,39 @@
+package thermal
+
+import "coolpim/internal/units"
+
+// Cooling describes one of the paper's Table II cooling solutions: a
+// plate-fin heat sink characterized by its thermal resistance and the
+// relative power of its fan (the fan-curve extrapolation puts the
+// high-end fan at ~13 W, which anchors the absolute scale).
+type Cooling struct {
+	Name string
+	// SinkResistance is the heat-sink-to-ambient thermal resistance.
+	SinkResistance units.ThermalResistance
+	// FanPowerRel is the fan power relative to the low-end active heat
+	// sink (Table II: passive 0, low-end 1×, commodity 104×, high-end
+	// 380×).
+	FanPowerRel float64
+}
+
+// fanPowerUnit is the absolute power of the 1× (low-end) fan, chosen so
+// the 380× high-end fan draws ≈13 W as the paper reports.
+const fanPowerUnit = 13.0 / 380.0
+
+// FanPower returns the absolute fan power of the cooling solution.
+func (c Cooling) FanPower() units.Watt {
+	return units.Watt(c.FanPowerRel * fanPowerUnit)
+}
+
+// The Table II cooling solutions.
+var (
+	Passive         = Cooling{Name: "Passive heat sink", SinkResistance: 4.0, FanPowerRel: 0}
+	LowEndActive    = Cooling{Name: "Low-end active heat sink", SinkResistance: 2.0, FanPowerRel: 1}
+	CommodityServer = Cooling{Name: "Commodity-server active heat sink", SinkResistance: 0.5, FanPowerRel: 104}
+	HighEndActive   = Cooling{Name: "High-end active heat sink", SinkResistance: 0.2, FanPowerRel: 380}
+)
+
+// Coolings returns the Table II rows in presentation order.
+func Coolings() []Cooling {
+	return []Cooling{Passive, LowEndActive, CommodityServer, HighEndActive}
+}

@@ -1,0 +1,457 @@
+// Package thermal implements a compact transient thermal model of a
+// 3D-stacked memory cube, in the spirit of the 3D-ICE + KitFox flow the
+// paper uses: each die is discretized into a grid of cells (one per
+// vault), cells are joined by lateral and vertical thermal conductances,
+// the top die couples through a spreading resistance into a heat-sink
+// node, and the heat sink couples to ambient through the Table II sink
+// resistance. Both a steady-state solver (for the Fig. 1–5 sweeps) and a
+// forward-Euler transient integrator (for the closed-loop Fig. 14
+// dynamics) operate on the same network.
+//
+// Geometry convention: layer 0 is the logic die at the bottom of the
+// stack; layers 1..DRAMDies are the DRAM dies, stacked upward toward the
+// heat sink. This matches the paper's observation that "the lowest DRAM
+// die and logic layer reach the highest temperature".
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"coolpim/internal/units"
+)
+
+// StackConfig describes the physical stack and its calibration
+// constants. The resistances are per-cell; a full layer's vertical
+// resistance is CellVerticalR divided by the number of cells (parallel
+// paths).
+type StackConfig struct {
+	Name string
+
+	// GridW×GridH cells per layer; one cell per vault.
+	GridW, GridH int
+	// DRAMDies is the number of stacked DRAM dies (8 for HMC 2.0, 4 for
+	// the HMC 1.1 prototype).
+	DRAMDies int
+
+	// CellVerticalR is the vertical thermal resistance between the same
+	// cell of adjacent dies (silicon + bonding layer), °C/W.
+	CellVerticalR float64
+	// CellLateralR is the in-die resistance between adjacent cells, °C/W.
+	CellLateralR float64
+	// SinkSpreadR is the per-cell resistance from the top die through
+	// TIM and heat-sink base, °C/W.
+	SinkSpreadR float64
+	// RimR is the per-edge-cell leakage path to ambient through the
+	// package rim and board; it is what makes die edges run cooler than
+	// the center (the Fig. 3 hotspot pattern), °C/W.
+	RimR float64
+
+	// CellCap is the heat capacity of one cell node, J/°C; SinkCap is
+	// the heat-sink node capacity. They set the loop's thermal response
+	// time (Tthermal ≈ 1 ms in the paper's feedback model, Fig. 8).
+	CellCap float64
+	SinkCap float64
+
+	// Ambient is the inlet air temperature.
+	Ambient units.Celsius
+
+	// SurfaceOffsetR converts total package power into the
+	// die-to-case-surface temperature offset, used to estimate the
+	// surface temperature a thermal camera would see ("5 to 10 degrees
+	// [below junction] given a 20 Watt power": ≈0.35 °C/W).
+	SurfaceOffsetR units.ThermalResistance
+}
+
+// HMC20Stack returns the 8 GB HMC 2.0 stack: one logic die and eight
+// DRAM dies, 32 vaults on an 8×4 grid.
+func HMC20Stack() StackConfig {
+	return StackConfig{
+		Name:  "HMC2.0",
+		GridW: 8, GridH: 4,
+		DRAMDies:       8,
+		CellVerticalR:  7.0,
+		CellLateralR:   10.0,
+		SinkSpreadR:    2.0,
+		RimR:           4000.0,
+		CellCap:        2.0e-6,
+		SinkCap:        1.0e-3,
+		Ambient:        25,
+		SurfaceOffsetR: 0.35,
+	}
+}
+
+// HMC11Stack returns the 4 GB HMC 1.1 prototype stack: one logic die and
+// four DRAM dies, 16 vaults on a 4×4 grid.
+func HMC11Stack() StackConfig {
+	return StackConfig{
+		Name:  "HMC1.1",
+		GridW: 4, GridH: 4,
+		DRAMDies:       4,
+		CellVerticalR:  3.5,
+		CellLateralR:   10.0,
+		SinkSpreadR:    2.0,
+		RimR:           4000.0,
+		CellCap:        2.0e-6,
+		SinkCap:        1.0e-3,
+		Ambient:        25,
+		SurfaceOffsetR: 0.35,
+	}
+}
+
+// Validate checks the configuration for physical sanity.
+func (c StackConfig) Validate() error {
+	switch {
+	case c.GridW < 1 || c.GridH < 1:
+		return fmt.Errorf("thermal: grid %dx%d invalid", c.GridW, c.GridH)
+	case c.DRAMDies < 1:
+		return fmt.Errorf("thermal: %d DRAM dies invalid", c.DRAMDies)
+	case c.CellVerticalR <= 0 || c.CellLateralR <= 0 || c.SinkSpreadR <= 0 || c.RimR <= 0:
+		return fmt.Errorf("thermal: non-positive resistance in %+v", c)
+	case c.CellCap <= 0 || c.SinkCap <= 0:
+		return fmt.Errorf("thermal: non-positive capacitance in %+v", c)
+	}
+	return nil
+}
+
+// Layers returns the number of dies in the stack (logic + DRAM).
+func (c StackConfig) Layers() int { return 1 + c.DRAMDies }
+
+// Cells returns the number of cells per layer.
+func (c StackConfig) Cells() int { return c.GridW * c.GridH }
+
+// Model is an instantiated RC network: a stack configuration plus a
+// cooling solution, holding the current node temperatures and power
+// injection. Create with New; the model starts in thermal equilibrium at
+// ambient with zero power.
+type Model struct {
+	cfg     StackConfig
+	cooling Cooling
+
+	nCells  int
+	nLayers int
+	nNodes  int // nLayers*nCells + 1 (sink)
+
+	temp  []float64 // °C per node; sink node last
+	power []float64 // W injected per node (sink gets none)
+
+	// Precomputed conductances.
+	gVert   float64 // between vertically adjacent cells
+	gLat    float64 // between laterally adjacent cells
+	gSpread float64 // top-die cell -> sink node
+	gRim    float64 // edge cell -> ambient
+	gSink   float64 // sink node -> ambient
+
+	isEdge []bool // per cell
+
+	// maxStep is the largest stable Euler step, derived from the
+	// stiffest node.
+	maxStep float64
+}
+
+// New builds a model for the given stack and cooling. It panics on an
+// invalid configuration (a construction-time programming error).
+func New(cfg StackConfig, cooling Cooling) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cooling.SinkResistance <= 0 {
+		panic("thermal: non-positive sink resistance")
+	}
+	m := &Model{
+		cfg:     cfg,
+		cooling: cooling,
+		nCells:  cfg.Cells(),
+		nLayers: cfg.Layers(),
+	}
+	m.nNodes = m.nLayers*m.nCells + 1
+	m.temp = make([]float64, m.nNodes)
+	m.power = make([]float64, m.nNodes)
+	for i := range m.temp {
+		m.temp[i] = float64(cfg.Ambient)
+	}
+	m.gVert = 1 / cfg.CellVerticalR
+	m.gLat = 1 / cfg.CellLateralR
+	m.gSpread = 1 / cfg.SinkSpreadR
+	m.gRim = 1 / cfg.RimR
+	m.gSink = 1 / float64(cooling.SinkResistance)
+
+	m.isEdge = make([]bool, m.nCells)
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			if x == 0 || y == 0 || x == cfg.GridW-1 || y == cfg.GridH-1 {
+				m.isEdge[y*cfg.GridW+x] = true
+			}
+		}
+	}
+
+	// Stability bound: dt < C / ΣG at the stiffest node. A cell can see
+	// two vertical, four lateral, one spread and one rim conductance.
+	gMaxCell := 2*m.gVert + 4*m.gLat + m.gSpread + m.gRim
+	gMaxSink := float64(m.nCells)*m.gSpread + m.gSink
+	m.maxStep = 0.5 * math.Min(cfg.CellCap/gMaxCell, cfg.SinkCap/gMaxSink)
+	return m
+}
+
+// Config returns the stack configuration.
+func (m *Model) Config() StackConfig { return m.cfg }
+
+// Cooling returns the cooling solution.
+func (m *Model) Cooling() Cooling { return m.cooling }
+
+func (m *Model) node(layer, cell int) int { return layer*m.nCells + cell }
+
+func (m *Model) sinkNode() int { return m.nLayers * m.nCells }
+
+// ClearPower zeroes all power injection.
+func (m *Model) ClearPower() {
+	for i := range m.power {
+		m.power[i] = 0
+	}
+}
+
+// AddLayerPower distributes watts uniformly over all cells of a layer
+// (0 = logic die, 1..DRAMDies = DRAM dies bottom-up).
+func (m *Model) AddLayerPower(layer int, w units.Watt) {
+	m.checkLayer(layer)
+	per := float64(w) / float64(m.nCells)
+	for c := 0; c < m.nCells; c++ {
+		m.power[m.node(layer, c)] += per
+	}
+}
+
+// AddLayerPowerWeighted distributes watts over a layer's cells with the
+// given relative weights (length Cells(); weights are normalized). Zero
+// total weight falls back to uniform.
+func (m *Model) AddLayerPowerWeighted(layer int, w units.Watt, weights []float64) {
+	m.checkLayer(layer)
+	if len(weights) != m.nCells {
+		panic(fmt.Sprintf("thermal: %d weights for %d cells", len(weights), m.nCells))
+	}
+	total := 0.0
+	for _, wt := range weights {
+		if wt < 0 {
+			panic("thermal: negative cell weight")
+		}
+		total += wt
+	}
+	if total == 0 {
+		m.AddLayerPower(layer, w)
+		return
+	}
+	for c, wt := range weights {
+		m.power[m.node(layer, c)] += float64(w) * wt / total
+	}
+}
+
+// AddCellPower injects watts at a single cell of a layer.
+func (m *Model) AddCellPower(layer, x, y int, w units.Watt) {
+	m.checkLayer(layer)
+	if x < 0 || x >= m.cfg.GridW || y < 0 || y >= m.cfg.GridH {
+		panic(fmt.Sprintf("thermal: cell (%d,%d) outside %dx%d grid", x, y, m.cfg.GridW, m.cfg.GridH))
+	}
+	m.power[m.node(layer, y*m.cfg.GridW+x)] += float64(w)
+}
+
+func (m *Model) checkLayer(layer int) {
+	if layer < 0 || layer >= m.nLayers {
+		panic(fmt.Sprintf("thermal: layer %d outside stack of %d", layer, m.nLayers))
+	}
+}
+
+// TotalPower returns the currently injected power.
+func (m *Model) TotalPower() units.Watt {
+	t := 0.0
+	for _, p := range m.power {
+		t += p
+	}
+	return units.Watt(t)
+}
+
+// neighborFlux returns the net conductive flux into node i given the
+// temperature field t, plus the node's total conductance (for implicit
+// use by the steady-state solver).
+func (m *Model) neighborFlux(i int, t []float64) (flux, gTotal float64) {
+	amb := float64(m.cfg.Ambient)
+	if i == m.sinkNode() {
+		// Sink node: coupled to every top-die cell and to ambient.
+		top := m.nLayers - 1
+		for c := 0; c < m.nCells; c++ {
+			j := m.node(top, c)
+			flux += m.gSpread * (t[j] - t[i])
+			gTotal += m.gSpread
+		}
+		flux += m.gSink * (amb - t[i])
+		gTotal += m.gSink
+		return flux, gTotal
+	}
+	layer := i / m.nCells
+	cell := i % m.nCells
+	x, y := cell%m.cfg.GridW, cell/m.cfg.GridW
+	// Vertical neighbors.
+	if layer > 0 {
+		j := m.node(layer-1, cell)
+		flux += m.gVert * (t[j] - t[i])
+		gTotal += m.gVert
+	}
+	if layer < m.nLayers-1 {
+		j := m.node(layer+1, cell)
+		flux += m.gVert * (t[j] - t[i])
+		gTotal += m.gVert
+	} else {
+		// Top die couples into the sink node.
+		flux += m.gSpread * (t[m.sinkNode()] - t[i])
+		gTotal += m.gSpread
+	}
+	// Lateral neighbors.
+	if x > 0 {
+		j := i - 1
+		flux += m.gLat * (t[j] - t[i])
+		gTotal += m.gLat
+	}
+	if x < m.cfg.GridW-1 {
+		j := i + 1
+		flux += m.gLat * (t[j] - t[i])
+		gTotal += m.gLat
+	}
+	if y > 0 {
+		j := i - m.cfg.GridW
+		flux += m.gLat * (t[j] - t[i])
+		gTotal += m.gLat
+	}
+	if y < m.cfg.GridH-1 {
+		j := i + m.cfg.GridW
+		flux += m.gLat * (t[j] - t[i])
+		gTotal += m.gLat
+	}
+	// Package-rim leakage from edge cells to ambient.
+	if m.isEdge[cell] {
+		flux += m.gRim * (amb - t[i])
+		gTotal += m.gRim
+	}
+	return flux, gTotal
+}
+
+// Step advances the transient solution by d, subdividing into stable
+// Euler substeps automatically.
+func (m *Model) Step(d units.Time) {
+	remaining := d.Seconds()
+	for remaining > 0 {
+		dt := math.Min(remaining, m.maxStep)
+		m.eulerStep(dt)
+		remaining -= dt
+	}
+}
+
+func (m *Model) eulerStep(dt float64) {
+	next := make([]float64, m.nNodes)
+	for i := 0; i < m.nNodes; i++ {
+		flux, _ := m.neighborFlux(i, m.temp)
+		cap := m.cfg.CellCap
+		if i == m.sinkNode() {
+			cap = m.cfg.SinkCap
+		}
+		next[i] = m.temp[i] + dt*(flux+m.power[i])/cap
+	}
+	m.temp = next
+}
+
+// SolveSteady relaxes the network to its steady state for the current
+// power injection using Gauss-Seidel iteration. It returns the number of
+// sweeps performed.
+func (m *Model) SolveSteady() int {
+	const (
+		tol       = 1e-6
+		maxSweeps = 200000
+	)
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		maxDelta := 0.0
+		for i := 0; i < m.nNodes; i++ {
+			// T_i = (P_i + Σ G_ij T_j + G_amb T_amb) / Σ G. The flux
+			// form gives the same fixed point: solve flux + P = 0 for T_i.
+			flux, gTotal := m.neighborFlux(i, m.temp)
+			// flux = Σ G_ij (T_j - T_i); the update solves for the T_i
+			// that zeroes flux + P_i: T_i' = T_i + (flux + P_i)/ΣG.
+			delta := (flux + m.power[i]) / gTotal
+			m.temp[i] += delta
+			if d := math.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tol {
+			return sweep
+		}
+	}
+	return -1
+}
+
+// Reset returns every node to ambient.
+func (m *Model) Reset() {
+	for i := range m.temp {
+		m.temp[i] = float64(m.cfg.Ambient)
+	}
+}
+
+// CellTemp returns the temperature of one cell.
+func (m *Model) CellTemp(layer, x, y int) units.Celsius {
+	m.checkLayer(layer)
+	return units.Celsius(m.temp[m.node(layer, y*m.cfg.GridW+x)])
+}
+
+// SinkTemp returns the heat-sink node temperature.
+func (m *Model) SinkTemp() units.Celsius { return units.Celsius(m.temp[m.sinkNode()]) }
+
+// LayerPeak returns the hottest cell temperature of a layer.
+func (m *Model) LayerPeak(layer int) units.Celsius {
+	m.checkLayer(layer)
+	peak := math.Inf(-1)
+	for c := 0; c < m.nCells; c++ {
+		peak = math.Max(peak, m.temp[m.node(layer, c)])
+	}
+	return units.Celsius(peak)
+}
+
+// PeakDRAM returns the hottest DRAM cell in the stack — the quantity the
+// paper's operating phases and all of Figs. 4, 5, 13 are defined on.
+func (m *Model) PeakDRAM() units.Celsius {
+	peak := math.Inf(-1)
+	for l := 1; l < m.nLayers; l++ {
+		peak = math.Max(peak, float64(m.LayerPeak(l)))
+	}
+	return units.Celsius(peak)
+}
+
+// PeakLogic returns the hottest logic-die cell.
+func (m *Model) PeakLogic() units.Celsius { return m.LayerPeak(0) }
+
+// Peak returns the hottest cell anywhere in the stack.
+func (m *Model) Peak() units.Celsius {
+	return units.Celsius(math.Max(float64(m.PeakLogic()), float64(m.PeakDRAM())))
+}
+
+// LayerMap returns a copy of a layer's temperature grid indexed [y][x].
+func (m *Model) LayerMap(layer int) [][]units.Celsius {
+	m.checkLayer(layer)
+	out := make([][]units.Celsius, m.cfg.GridH)
+	for y := range out {
+		out[y] = make([]units.Celsius, m.cfg.GridW)
+		for x := range out[y] {
+			out[y][x] = m.CellTemp(layer, x, y)
+		}
+	}
+	return out
+}
+
+// EstimatedSurface estimates the case-surface temperature a thermal
+// camera would measure: the in-package peak minus the package offset
+// (SurfaceOffsetR × total power).
+func (m *Model) EstimatedSurface() units.Celsius {
+	return m.Peak() - m.cfg.SurfaceOffsetR.Rise(m.TotalPower())
+}
+
+// EstimateDieFromSurface performs the inverse estimate the paper's
+// Fig. 2 uses to validate its model: given a measured surface
+// temperature and the package power, estimate the die temperature.
+func EstimateDieFromSurface(surface units.Celsius, totalPower units.Watt, offsetR units.ThermalResistance) units.Celsius {
+	return surface + offsetR.Rise(totalPower)
+}

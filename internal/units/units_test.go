@@ -1,0 +1,145 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		sec  float64
+		ns   float64
+		ms   float64
+		want string
+	}{
+		{Second, 1, 1e9, 1000, "1.000s"},
+		{Millisecond, 1e-3, 1e6, 1, "1.000ms"},
+		{Microsecond, 1e-6, 1e3, 1e-3, "1.000us"},
+		{Nanosecond, 1e-9, 1, 1e-6, "1.000ns"},
+		{500 * Picosecond, 5e-10, 0.5, 5e-7, "500ps"},
+	}
+	for _, c := range cases {
+		if got := c.in.Seconds(); got != c.sec {
+			t.Errorf("%v.Seconds() = %v, want %v", c.in, got, c.sec)
+		}
+		if got := c.in.Nanoseconds(); got != c.ns {
+			t.Errorf("%v.Nanoseconds() = %v, want %v", c.in, got, c.ns)
+		}
+		if got := c.in.Milliseconds(); got != c.ms {
+			t.Errorf("%v.Milliseconds() = %v, want %v", c.in, got, c.ms)
+		}
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := Time(ms) * Millisecond
+		return FromSeconds(d.Seconds()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromNanoseconds(t *testing.T) {
+	if got := FromNanoseconds(13.75); got != 13750*Picosecond {
+		t.Errorf("FromNanoseconds(13.75) = %d ps, want 13750", int64(got))
+	}
+}
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	f := func(deciC int16) bool {
+		c := Celsius(float64(deciC) / 10)
+		back := FromKelvin(c.Kelvin())
+		return math.Abs(float64(back-c)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyPerBitPower(t *testing.T) {
+	// Paper Section V-A: DRAM layers at 3.7 pJ/bit. At 320 GB/s the DRAM
+	// power is 3.7e-12 * 320e9*8 = 9.472 W.
+	e := PicojoulePerBit(3.7)
+	p := e.PowerAt(GBps(320))
+	if math.Abs(float64(p)-9.472) > 1e-9 {
+		t.Errorf("DRAM power at 320GB/s = %v, want 9.472W", p)
+	}
+	// Logic layer at 6.78 pJ/bit -> 17.3568 W at 320 GB/s.
+	p = PicojoulePerBit(6.78).PowerAt(GBps(320))
+	if math.Abs(float64(p)-17.3568) > 1e-9 {
+		t.Errorf("logic power at 320GB/s = %v, want 17.3568W", p)
+	}
+}
+
+func TestJouleOver(t *testing.T) {
+	if got := Joule(1).Over(Second); got != 1 {
+		t.Errorf("1J over 1s = %v, want 1W", got)
+	}
+	if got := Joule(1).Over(0); got != 0 {
+		t.Errorf("1J over 0 = %v, want 0", got)
+	}
+	if got := Joule(2).Over(Millisecond); math.Abs(float64(got)-2000) > 1e-9 {
+		t.Errorf("2J over 1ms = %v, want 2000W", got)
+	}
+}
+
+func TestThermalResistanceRise(t *testing.T) {
+	// Commodity-server heat sink (Table II): 0.5 °C/W.
+	r := ThermalResistance(0.5)
+	if got := r.Rise(27); got != 13.5 {
+		t.Errorf("0.5°C/W rise at 27W = %v, want 13.5", got)
+	}
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	b := GBps(80)
+	if b.GBps() != 80 {
+		t.Errorf("GBps round trip = %v", b.GBps())
+	}
+	if b.BitsPerSecond() != 640e9 {
+		t.Errorf("80GB/s = %v bit/s, want 6.4e11", b.BitsPerSecond())
+	}
+}
+
+func TestOpsPerNs(t *testing.T) {
+	if got := OpsPerNs(1.3).OpsPerSecond(); got != 1.3e9 {
+		t.Errorf("1.3 op/ns = %v op/s", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		got := Clamp(x, -1, 1)
+		return got >= -1 && got <= 1 && (x < -1 || x > 1 || got == x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Celsius(85).String(), "85.0°C"},
+		{Watt(13).String(), "13.000W"},
+		{GBps(320).String(), "320.00GB/s"},
+		{ThermalResistance(0.5).String(), "0.50°C/W"},
+		{OpsPerNs(1.3).String(), "1.30op/ns"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
