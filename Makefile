@@ -1,0 +1,28 @@
+# CoolPIM reproduction — developer entry points.
+
+GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
+
+.PHONY: build test vet race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/core
+
+# bench writes a dated machine-readable benchmark snapshot (one pass per
+# benchmark; the paper-figure benchmarks report their headline quantity
+# as a custom metric).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+clean:
+	rm -f BENCH_*.json trace.jsonl metrics.prom series.csv

@@ -2,64 +2,83 @@
 // platform under a chosen offloading policy and prints the run's
 // statistics — the single-experiment front end to the full system model.
 //
+// With any of the telemetry flags set the run records the observability
+// layer's outputs: -trace-out writes the structured event stream (JSONL,
+// one typed event per line: thermal warnings, derating phase changes,
+// token-pool resizes, offload decisions, link backpressure), -series-out
+// writes the aligned time series as CSV, and -metrics-out dumps the
+// metrics registry in Prometheus text format. A human-readable telemetry
+// summary table is printed after the run statistics.
+//
 // Example:
 //
-//	coolpim-sim -workload pagerank -policy coolpim-hw -scale 15 -cooling commodity
+//	coolpim-sim -workload pagerank -policy coolpim-hw -scale 15 -cooling commodity \
+//	    -trace-out trace.jsonl -metrics-out metrics.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
 	"coolpim/internal/graph"
 	"coolpim/internal/kernels"
 	"coolpim/internal/system"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/thermal"
+	"coolpim/internal/units"
 )
-
-var policyNames = map[string]core.PolicyKind{
-	"baseline":   core.NonOffloading,
-	"naive":      core.NaiveOffloading,
-	"coolpim-sw": core.CoolPIMSW,
-	"coolpim-hw": core.CoolPIMHW,
-	"ideal":      core.IdealThermal,
-}
-
-var coolingNames = map[string]thermal.Cooling{
-	"passive":   thermal.Passive,
-	"low-end":   thermal.LowEndActive,
-	"commodity": thermal.CommodityServer,
-	"high-end":  thermal.HighEndActive,
-}
 
 func main() {
 	workload := flag.String("workload", "dc", "workload: "+strings.Join(kernels.Names(), ", "))
-	policy := flag.String("policy", "coolpim-hw", "policy: baseline, naive, coolpim-sw, coolpim-hw, ideal")
-	scale := flag.Int("scale", 14, "RMAT graph scale (2^scale vertices)")
+	policy := flag.String("policy", "coolpim-hw", "policy: "+strings.Join(core.PolicyNames(), ", "))
+	scale := flag.Int("scale", 16, "RMAT graph scale (2^scale vertices)")
 	edgeFactor := flag.Int("ef", 8, "edges per vertex")
 	seed := flag.Int64("seed", 42, "graph seed")
-	reps := flag.Int("reps", 1, "workload repetitions")
-	cooling := flag.String("cooling", "commodity", "cooling: passive, low-end, commodity, high-end")
-	series := flag.Bool("series", false, "print the PIM-rate/temperature time series")
+	reps := flag.Int("reps", 2, "workload repetitions")
+	cooling := flag.String("cooling", "commodity", "cooling: "+strings.Join(thermal.CoolingNames(), ", "))
+	traceOut := flag.String("trace-out", "", "write the telemetry event trace as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format to this file")
+	seriesOut := flag.String("series-out", "", "write the telemetry time series as CSV to this file")
+	sampleEvery := flag.Duration("sample-every", 100*time.Microsecond, "telemetry time-series sampling period (simulated time)")
 	flag.Parse()
 
-	pol, ok := policyNames[*policy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+	if *scale <= 0 {
+		fatalf("-scale must be positive (got %d)", *scale)
 	}
-	cool, ok := coolingNames[*cooling]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown cooling %q\n", *cooling)
-		os.Exit(2)
+	if *edgeFactor <= 0 {
+		fatalf("-ef must be positive (got %d)", *edgeFactor)
+	}
+	if *reps <= 0 {
+		fatalf("-reps must be positive (got %d)", *reps)
+	}
+	if *sampleEvery <= 0 {
+		fatalf("-sample-every must be positive (got %v)", *sampleEvery)
+	}
+
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cool, err := thermal.ParseCooling(*cooling)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	cfg := experiments.ScaledConfig(*scale)
 	cfg.Cooling = cool
+
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+		cfg.TelemetrySample = units.FromNanoseconds(float64(sampleEvery.Nanoseconds()))
+	}
 
 	fmt.Printf("generating LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
 	g := graph.GenRMAT(*scale, *edgeFactor, graph.LDBCLikeParams(), *seed)
@@ -67,8 +86,7 @@ func main() {
 
 	w, err := kernels.NewSized(*workload, *reps)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	fmt.Printf("running %s under %v with %s...\n\n", w.Name(), pol, cool.Name)
 	res, err := system.RunWorkload(w, pol, cfg, g)
@@ -77,15 +95,38 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
-	if *series {
-		fmt.Println("\ntime series:")
-		fmt.Printf("%-10s %-12s %-14s %-10s %s\n", "t(ms)", "PIM(op/ns)", "extBW", "peakDRAM", "pool")
-		for _, s := range res.Series {
-			fmt.Printf("%-10.2f %-12.2f %-14v %-10s %d\n",
-				s.At.Milliseconds(), float64(s.PIMRate), s.ExtBW,
-				experiments.FmtCelsius(s.PeakDRAM), s.PoolSize)
-		}
+
+	if tel.Enabled() {
+		fmt.Println("\ntelemetry summary:")
+		tel.WriteSummary(os.Stdout)
+		writeExport(*traceOut, "trace", tel.Tracer.WriteJSONL)
+		writeExport(*metricsOut, "metrics", tel.Registry.WritePrometheus)
+		writeExport(*seriesOut, "series", tel.Series.WriteCSV)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// writeExport dumps one telemetry exporter to path (no-op when the flag
+// was left empty).
+func writeExport(path, what string, write func(w io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s to %s\n", what, path)
 }
 
 func printResult(r *system.Result) {

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"coolpim/internal/graph"
@@ -18,6 +19,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	uniform := flag.Bool("uniform", false, "generate a uniform (Erdős–Rényi) graph instead of RMAT")
 	flag.Parse()
+
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "-scale must be positive (got %d)\n", *scale)
+		os.Exit(2)
+	}
+	if *edgeFactor <= 0 {
+		fmt.Fprintf(os.Stderr, "-ef must be positive (got %d)\n", *edgeFactor)
+		os.Exit(2)
+	}
 
 	var g *graph.Graph
 	if *uniform {

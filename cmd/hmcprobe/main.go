@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"coolpim/internal/dram"
 	"coolpim/internal/power"
@@ -17,24 +18,31 @@ import (
 )
 
 func main() {
-	coolingName := flag.String("cooling", "all", "passive, low-end, high-end, or all")
+	coolingName := flag.String("cooling", "all", "one of "+strings.Join(thermal.CoolingNames(), ", ")+", or all")
 	maxBW := flag.Float64("maxbw", 60, "peak link data bandwidth to sweep to (GB/s)")
 	steps := flag.Int("steps", 7, "sweep steps")
 	flag.Parse()
 
-	coolings := map[string]thermal.Cooling{
-		"passive":  thermal.Passive,
-		"low-end":  thermal.LowEndActive,
-		"high-end": thermal.HighEndActive,
+	if *maxBW <= 0 {
+		fmt.Fprintf(os.Stderr, "-maxbw must be positive (got %g)\n", *maxBW)
+		os.Exit(2)
 	}
+	if *steps < 2 {
+		fmt.Fprintf(os.Stderr, "-steps must be at least 2 (got %d)\n", *steps)
+		os.Exit(2)
+	}
+
 	var selected []thermal.Cooling
 	if *coolingName == "all" {
+		// The prototype study's three heat sinks (the paper's Fig. 1).
 		selected = []thermal.Cooling{thermal.Passive, thermal.LowEndActive, thermal.HighEndActive}
-	} else if c, ok := coolings[*coolingName]; ok {
-		selected = []thermal.Cooling{c}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown cooling %q\n", *coolingName)
-		os.Exit(2)
+		c, err := thermal.ParseCooling(*coolingName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = []thermal.Cooling{c}
 	}
 
 	fmt.Println("HMC 1.1 prototype thermal probe (4GB cube, 2 half-width links)")

@@ -24,15 +24,15 @@ func main() {
 	scale := flag.Int("scale", 13, "graph scale")
 	flag.Parse()
 
-	kinds := map[string]core.PolicyKind{
-		"naive":      core.NaiveOffloading,
-		"coolpim-sw": core.CoolPIMSW,
-		"coolpim-hw": core.CoolPIMHW,
-		"ideal":      core.IdealThermal,
+	if *scale <= 0 {
+		log.Fatalf("-scale must be positive (got %d)", *scale)
 	}
-	pol, ok := kinds[*policy]
-	if !ok {
-		log.Fatalf("unknown policy %q", *policy)
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pol == core.NonOffloading {
+		log.Fatalf("policy %q is the comparison baseline; pick an offloading policy", *policy)
 	}
 
 	g := graph.GenRMAT(*scale, 8, graph.LDBCLikeParams(), 42)

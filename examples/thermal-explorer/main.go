@@ -41,13 +41,9 @@ func main() {
 	coolName := flag.String("cooling", "commodity", "passive, low-end, commodity, high-end")
 	flag.Parse()
 
-	coolings := map[string]thermal.Cooling{
-		"passive": thermal.Passive, "low-end": thermal.LowEndActive,
-		"commodity": thermal.CommodityServer, "high-end": thermal.HighEndActive,
-	}
-	cool, ok := coolings[*coolName]
-	if !ok {
-		log.Fatalf("unknown cooling %q", *coolName)
+	cool, err := thermal.ParseCooling(*coolName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *bw >= 0 && *pim >= 0 {

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"coolpim/internal/sim"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/units"
 )
 
@@ -237,6 +238,9 @@ type SWDynT struct {
 	eng  *sim.Engine
 	pool *TokenPool
 	gate warningGate
+	// Trace, if set, receives pool.resize events for every control
+	// update. Nil disables tracing at zero cost.
+	Trace *telemetry.Tracer
 }
 
 // NewSWDynT builds the software mechanism with an already-initialized
@@ -262,9 +266,11 @@ func (s *SWDynT) OnThermalWarning(now units.Time) {
 	if !ok {
 		return
 	}
-	s.eng.At(applyAt, func(at units.Time) {
+	s.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
+		before := s.pool.Size()
 		s.pool.Reduce(s.cfg.ControlFactor)
 		s.gate.applied(at)
+		s.Trace.PoolResize(at, "sw-ptp", before, s.pool.Size(), "warning")
 	})
 }
 
@@ -307,6 +313,9 @@ type HWDynT struct {
 	eng  *sim.Engine
 	pcus []PCU
 	gate warningGate
+	// Trace, if set, receives pool.resize events (with the aggregate
+	// PIM-enabled warp count across all PCUs) for every control update.
+	Trace *telemetry.Tracer
 }
 
 // NewHWDynT builds the hardware mechanism. Every PCU starts with all
@@ -347,6 +356,18 @@ func (h *HWDynT) ObserveWarpSlot(sm, warpSlot int) {
 // Limit returns an SM's current PIM-enabled warp count.
 func (h *HWDynT) Limit(sm int) int { return h.pcus[sm].Limit() }
 
+// TotalLimit returns the PIM-enabled warp count summed over all SMs —
+// the device-wide throttle state a Fig. 14-style trace plots.
+func (h *HWDynT) TotalLimit() int { return totalLimit(h.pcus) }
+
+func totalLimit(pcus []PCU) int {
+	total := 0
+	for i := range pcus {
+		total += pcus[i].Limit()
+	}
+	return total
+}
+
 // OnThermalWarning handles a warning at now: after the (short) hardware
 // throttle delay every PCU reduces its PIM-enabled warp count by CF;
 // subsequent warnings are ignored until the settle window closes.
@@ -355,11 +376,13 @@ func (h *HWDynT) OnThermalWarning(now units.Time) {
 	if !ok {
 		return
 	}
-	h.eng.At(applyAt, func(at units.Time) {
+	h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
+		before := totalLimit(h.pcus)
 		for i := range h.pcus {
 			h.pcus[i].step(h.cfg.HWControlFactor)
 		}
 		h.gate.applied(at)
+		h.Trace.PoolResize(at, "hw-pcu", before, totalLimit(h.pcus), "warning")
 	})
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"coolpim/internal/sim"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/units"
 )
 
@@ -57,6 +58,9 @@ type MultiLevelHWDynT struct {
 	gate     warningGate // normal-level gate
 	critGate warningGate // emergency gate
 	critical uint64
+	// Trace, if set, receives pool.resize events (reason "warning" or
+	// "critical") for every control update.
+	Trace *telemetry.Tracer
 }
 
 // NewMultiLevelHWDynT builds the extended hardware mechanism.
@@ -85,6 +89,9 @@ func (h *MultiLevelHWDynT) WarpPIMEnabled(sm, warpSlot int) bool {
 // Limit returns an SM's PIM-enabled warp count.
 func (h *MultiLevelHWDynT) Limit(sm int) int { return h.pcus[sm].Limit() }
 
+// TotalLimit returns the PIM-enabled warp count summed over all SMs.
+func (h *MultiLevelHWDynT) TotalLimit() int { return totalLimit(h.pcus) }
+
 // OnWarning delivers a leveled thermal warning.
 func (h *MultiLevelHWDynT) OnWarning(now units.Time, level WarningLevel) {
 	if level == WarnCritical {
@@ -93,8 +100,8 @@ func (h *MultiLevelHWDynT) OnWarning(now units.Time, level WarningLevel) {
 		if !ok {
 			return
 		}
-		h.eng.At(applyAt, func(at units.Time) {
-			h.reduce(h.cfg.CriticalFactor)
+		h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
+			h.reduce(at, h.cfg.CriticalFactor, "critical")
 			h.critGate.applied(at)
 			// An emergency step satisfies the normal loop too.
 			h.gate.lockout(at)
@@ -105,16 +112,18 @@ func (h *MultiLevelHWDynT) OnWarning(now units.Time, level WarningLevel) {
 	if !ok {
 		return
 	}
-	h.eng.At(applyAt, func(at units.Time) {
-		h.reduce(h.cfg.HWControlFactor)
+	h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
+		h.reduce(at, h.cfg.HWControlFactor, "warning")
 		h.gate.applied(at)
 	})
 }
 
-func (h *MultiLevelHWDynT) reduce(cf int) {
+func (h *MultiLevelHWDynT) reduce(at units.Time, cf int, reason string) {
+	before := totalLimit(h.pcus)
 	for i := range h.pcus {
 		h.pcus[i].step(cf)
 	}
+	h.Trace.PoolResize(at, "hw-pcu", before, totalLimit(h.pcus), reason)
 }
 
 // ObserveWarpSlot mirrors HWDynT.ObserveWarpSlot.

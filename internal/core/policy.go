@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"coolpim/internal/units"
 )
@@ -44,6 +45,31 @@ func (k PolicyKind) String() string {
 // Kinds returns all policies in presentation order (Fig. 10 legend).
 func Kinds() []PolicyKind {
 	return []PolicyKind{NonOffloading, NaiveOffloading, CoolPIMSW, CoolPIMHW, IdealThermal}
+}
+
+// policyNames maps the CLI spellings shared by every command and example
+// to their PolicyKind.
+var policyNames = map[string]PolicyKind{
+	"baseline":   NonOffloading,
+	"naive":      NaiveOffloading,
+	"coolpim-sw": CoolPIMSW,
+	"coolpim-hw": CoolPIMHW,
+	"ideal":      IdealThermal,
+}
+
+// ParsePolicy resolves a CLI policy name ("baseline", "naive",
+// "coolpim-sw", "coolpim-hw", "ideal") to its PolicyKind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	if k, ok := policyNames[name]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want one of %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames returns the accepted ParsePolicy spellings in presentation
+// order.
+func PolicyNames() []string {
+	return []string{"baseline", "naive", "coolpim-sw", "coolpim-hw", "ideal"}
 }
 
 // ThermalEffectsDisabled reports whether the configuration assumes

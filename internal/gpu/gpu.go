@@ -23,6 +23,7 @@ import (
 	"coolpim/internal/mem"
 	"coolpim/internal/sim"
 	"coolpim/internal/simt"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/units"
 )
 
@@ -143,6 +144,7 @@ type blockState struct {
 type GPU struct {
 	cfg    Config
 	eng    *sim.Engine
+	label  sim.Label // pre-interned "gpu" profiling label
 	space  *mem.Space
 	cube   *hmc.Cube
 	policy core.Policy
@@ -158,6 +160,10 @@ type GPU struct {
 	// lines bypass the (non-coherent) per-SM L1s, as volatile GPU
 	// accesses do.
 	PIMOffloadActive bool
+
+	// Trace, if set, receives offload.accept/offload.reject events for
+	// every block-launch decision. Nil disables tracing at zero cost.
+	Trace *telemetry.Tracer
 
 	launch     *Launch
 	nextBlock  int
@@ -178,6 +184,7 @@ func New(eng *sim.Engine, space *mem.Space, cube *hmc.Cube, policy core.Policy, 
 	g := &GPU{
 		cfg:    cfg,
 		eng:    eng,
+		label:  eng.Label("gpu"),
 		space:  space,
 		cube:   cube,
 		policy: policy,
@@ -287,6 +294,7 @@ func (g *GPU) startBlock(smID int) {
 	} else {
 		g.stats.PIMBlocks++
 	}
+	g.Trace.OffloadBlock(g.eng.Now(), isPIM, smID, g.nextBlock)
 	b := &blockState{
 		id:       g.nextBlock,
 		isPIM:    isPIM,
@@ -311,7 +319,7 @@ func (g *GPU) startBlock(smID int) {
 		})
 		warpSlot := slot*g.warpsPerBlock() + w
 		wp := &warpState{gpu: g, block: b, run: run, slot: warpSlot}
-		g.eng.After(0, func(now units.Time) { wp.advance(now) })
+		g.eng.AfterLabel(0, g.label, func(now units.Time) { wp.advance(now) })
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"coolpim/internal/flit"
 	"coolpim/internal/mem"
 	"coolpim/internal/sim"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/units"
 )
 
@@ -125,6 +126,7 @@ type vault struct {
 type Cube struct {
 	cfg   Config
 	eng   *sim.Engine
+	label sim.Label // pre-interned "hmc" profiling label
 	space *mem.Space
 
 	reqLinks  []*serializer
@@ -146,6 +148,10 @@ type Cube struct {
 	// DisableThermalEffects models the Ideal-Thermal configuration: the
 	// cube never derates, warns, or shuts down.
 	DisableThermalEffects bool
+	// Trace, if set, receives the cube's thermal and link events
+	// (warning raise/clear, derating phase transitions, shutdown, credit
+	// backpressure). Nil disables tracing at zero cost.
+	Trace *telemetry.Tracer
 }
 
 // New builds a cube attached to an engine and a functional memory.
@@ -154,7 +160,7 @@ func New(eng *sim.Engine, space *mem.Space, cfg Config) *Cube {
 		panic(err)
 	}
 	flitTime := units.Time(float64(flit.FlitBytes) / (cfg.LinkDirGBps * 1e9) * float64(units.Second))
-	c := &Cube{cfg: cfg, eng: eng, space: space, phase: dram.PhaseNormal, timing: cfg.Timing}
+	c := &Cube{cfg: cfg, eng: eng, label: eng.Label("hmc"), space: space, phase: dram.PhaseNormal, timing: cfg.Timing}
 	for i := 0; i < cfg.Links; i++ {
 		c.reqLinks = append(c.reqLinks, &serializer{flitTime: flitTime, baseFlit: flitTime})
 		c.respLinks = append(c.respLinks, &serializer{flitTime: flitTime, baseFlit: flitTime})
@@ -202,16 +208,22 @@ func (c *Cube) SetTemperature(now units.Time, temp units.Celsius) {
 		return
 	}
 	phase := dram.PhaseForTemp(temp)
+	wasWarning := c.warning
 	c.warning = temp > c.cfg.WarnTemp
+	if c.warning != wasWarning {
+		c.Trace.ThermalWarning(now, c.warning, temp)
+	}
 	if phase == dram.PhaseShutdown {
 		c.shutdown = true
 		c.shutTime = now
+		c.Trace.Shutdown(now, temp)
 		if c.OnShutdown != nil {
 			c.OnShutdown(now)
 		}
 		return
 	}
 	if phase != c.phase {
+		c.Trace.PhaseTransition(now, c.phase.String(), phase.String(), temp)
 		c.phase = phase
 		// Derate all DRAM timing by the phase's frequency reduction and
 		// fold the refresh duty cycle in as a multiplicative occupancy
@@ -256,7 +268,7 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 		// Post-shutdown: the cube is unreachable until recovery; data is
 		// lost. Deliver an error response after the recovery delay so
 		// callers unblock eventually (experiments treat this as failure).
-		c.eng.At(c.shutTime+c.cfg.RecoveryDelay, func(at units.Time) {
+		c.eng.AtLabel(c.shutTime+c.cfg.RecoveryDelay, c.label, func(at units.Time) {
 			done(flit.Response{Tag: req.Tag, Cmd: req.Cmd, ErrStat: 0x7F}, at)
 		})
 		return c.shutTime + c.cfg.RecoveryDelay
@@ -333,7 +345,7 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 	// bank queues differ.
 	busTime := units.Time(float64(c.timing.TBurst64) * float64(busBytes) / 64.0)
 	submitAt := now
-	c.eng.At(dataAt, func(at units.Time) {
+	c.eng.AtLabel(dataAt, c.label, func(at units.Time) {
 		busStart := max(at, v.busBusy)
 		c.counters.BusQueueSum += busStart - at
 		busDone := busStart + busTime
@@ -363,6 +375,9 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 	acceptedAt = arrive
 	if bp := dataAt - c.cfg.CreditWindow; bp > acceptedAt {
 		acceptedAt = bp
+		// Stamp with the engine's current time, not the (possibly
+		// future) link-entry time, to keep the trace monotone.
+		c.Trace.LinkBackpressure(c.eng.Now(), lid, acceptedAt-arrive)
 	}
 	return acceptedAt
 }

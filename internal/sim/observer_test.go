@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"coolpim/internal/units"
+)
+
+// recordingObserver captures EventExecuted callbacks for assertions.
+type recordingObserver struct {
+	labels []string
+	ats    []units.Time
+	wall   []int64
+}
+
+func (o *recordingObserver) EventExecuted(label string, at units.Time, wallNs int64) {
+	o.labels = append(o.labels, label)
+	o.ats = append(o.ats, at)
+	o.wall = append(o.wall, wallNs)
+}
+
+func TestObserverSeesLabeledEvents(t *testing.T) {
+	e := New()
+	obs := &recordingObserver{}
+	e.SetObserver(obs)
+	e.AtNamed(10, "hmc", func(units.Time) {})
+	e.AfterNamed(20, "gpu", func(units.Time) {})
+	e.At(30, func(units.Time) {}) // scheduled outside any event: unlabeled
+	e.Run()
+	want := []string{"hmc", "gpu", ""}
+	if len(obs.labels) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(obs.labels), len(want))
+	}
+	for i, w := range want {
+		if obs.labels[i] != w {
+			t.Errorf("event %d label = %q, want %q", i, obs.labels[i], w)
+		}
+		if obs.wall[i] < 0 {
+			t.Errorf("event %d wall time %d < 0", i, obs.wall[i])
+		}
+	}
+	if obs.ats[0] != 10 || obs.ats[1] != 20 || obs.ats[2] != 30 {
+		t.Errorf("timestamps = %v, want [10 20 30]", obs.ats)
+	}
+}
+
+// TestLabelInheritance pins the attribution model: events scheduled from
+// inside an executing event inherit its component label through
+// arbitrarily nested rescheduling, so components only label the events
+// that seed their causal chains.
+func TestLabelInheritance(t *testing.T) {
+	e := New()
+	obs := &recordingObserver{}
+	e.SetObserver(obs)
+	e.AtNamed(1, "hmc", func(units.Time) {
+		e.After(1, func(units.Time) { // inherits "hmc"
+			e.At(5, func(units.Time) {}) // still "hmc"
+		})
+		e.AfterNamed(2, "gpu", func(units.Time) {}) // explicit override
+	})
+	e.EveryNamed(10, "thermal", func(now units.Time) bool { return now < 20 })
+	e.Run()
+	want := []string{"hmc", "hmc", "gpu", "hmc", "thermal", "thermal"}
+	if len(obs.labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", obs.labels, want)
+	}
+	for i, w := range want {
+		if obs.labels[i] != w {
+			t.Errorf("event %d label = %q, want %q (%v)", i, obs.labels[i], w, obs.labels)
+		}
+	}
+}
+
+func TestDetachedObserverRunsClean(t *testing.T) {
+	e := New()
+	obs := &recordingObserver{}
+	e.SetObserver(obs)
+	e.AtNamed(1, "a", func(units.Time) {})
+	e.Run()
+	e.SetObserver(nil)
+	e.AtNamed(2, "b", func(units.Time) {})
+	e.Run()
+	if len(obs.labels) != 1 {
+		t.Fatalf("detached observer still saw events: %v", obs.labels)
+	}
+}

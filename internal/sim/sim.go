@@ -10,6 +10,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
 	"coolpim/internal/units"
 )
@@ -17,10 +18,22 @@ import (
 // Event is a callback scheduled to run at a simulated time.
 type Event func(now units.Time)
 
+// Observer receives engine-level profiling callbacks: one call per
+// executed event, with the component label the event was scheduled
+// under, its simulated timestamp, and the wall-clock nanoseconds the
+// handler took. The engine only reads the wall clock while an observer
+// is attached, so the disabled path stays free of timing syscalls.
+// Observer data never feeds back into the simulation; determinism is
+// unaffected.
+type Observer interface {
+	EventExecuted(label string, at units.Time, wallNs int64)
+}
+
 type item struct {
-	at  units.Time
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  Event
+	at    units.Time
+	seq   uint64 // insertion order; breaks ties deterministically
+	label uint16 // interned component label for profiling (see AtNamed)
+	fn    Event
 }
 
 type eventHeap []item
@@ -51,6 +64,12 @@ type Engine struct {
 	queue  eventHeap
 	nSteps uint64
 	halted bool
+	obs    Observer
+	// Labels are interned to small ids so queued items stay compact and
+	// label inheritance is an integer copy; id 0 is the empty label.
+	curLabel uint16 // label id of the currently executing event
+	labels   []string
+	labelIDs map[string]uint16
 }
 
 // New returns an empty engine at time zero.
@@ -62,28 +81,114 @@ func (e *Engine) Now() units.Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
+// SetObserver attaches (or, with nil, detaches) a profiling observer.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: it always indicates a component bug, and silently
 // reordering time would destroy causality.
+//
+// The event inherits the component label of the event currently
+// executing (if any), so a component that seeds its chains with AtNamed
+// keeps its label through arbitrarily nested rescheduling.
 func (e *Engine) At(t units.Time, fn Event) {
+	e.atID(t, e.curLabel, fn)
+}
+
+// AtNamed is At with an explicit component label for engine profiling:
+// the attached Observer aggregates event counts and handler wall time
+// per label. Components label the events that start their causal chains
+// ("gpu", "hmc", "thermal", ...); everything they schedule from inside
+// those events inherits the label automatically.
+func (e *Engine) AtNamed(t units.Time, label string, fn Event) {
+	e.atID(t, e.intern(label), fn)
+}
+
+func (e *Engine) atID(t units.Time, label uint16, fn Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.queue, item{at: t, seq: e.seq, label: label, fn: fn})
 }
+
+// intern maps a label to its stable small id, allocating one on first
+// sight. The empty label is id 0; an implausible overflow of the id
+// space degrades to unlabeled rather than failing.
+func (e *Engine) intern(label string) uint16 {
+	if label == "" {
+		return 0
+	}
+	if id, ok := e.labelIDs[label]; ok {
+		return id
+	}
+	if len(e.labels) == 0 {
+		e.labels = append(e.labels, "")
+	}
+	if len(e.labels) > 1<<16-1 {
+		return 0
+	}
+	id := uint16(len(e.labels))
+	e.labels = append(e.labels, label)
+	if e.labelIDs == nil {
+		e.labelIDs = make(map[string]uint16)
+	}
+	e.labelIDs[label] = id
+	return id
+}
+
+// labelName resolves an interned label id.
+func (e *Engine) labelName(id uint16) string {
+	if int(id) < len(e.labels) {
+		return e.labels[id]
+	}
+	return ""
+}
+
+// Label is a pre-interned component label, scoped to the engine that
+// interned it. Components that schedule on their hot path intern their
+// label once at construction and use AtLabel/AfterLabel, skipping
+// AtNamed's per-call intern lookup.
+type Label uint16
+
+// Label interns name and returns its handle (see AtNamed for semantics).
+func (e *Engine) Label(name string) Label { return Label(e.intern(name)) }
+
+// AtLabel is AtNamed with a pre-interned label.
+func (e *Engine) AtLabel(t units.Time, l Label, fn Event) { e.atID(t, uint16(l), fn) }
+
+// AfterLabel is AfterNamed with a pre-interned label.
+func (e *Engine) AfterLabel(d units.Time, l Label, fn Event) { e.afterID(d, uint16(l), fn) }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d units.Time, fn Event) {
+	e.afterID(d, e.curLabel, fn)
+}
+
+// AfterNamed is After with an explicit component label (see AtNamed).
+func (e *Engine) AfterNamed(d units.Time, label string, fn Event) {
+	e.afterID(d, e.intern(label), fn)
+}
+
+func (e *Engine) afterID(d units.Time, label uint16, fn Event) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.At(e.now+d, fn)
+	e.atID(e.now+d, label, fn)
 }
 
 // Every schedules fn to run every period, starting one period from now,
 // until either fn returns false or the engine halts.
 func (e *Engine) Every(period units.Time, fn func(now units.Time) bool) {
+	e.everyID(period, e.curLabel, fn)
+}
+
+// EveryNamed is Every with an explicit component label (see AtNamed).
+func (e *Engine) EveryNamed(period units.Time, label string, fn func(now units.Time) bool) {
+	e.everyID(period, e.intern(label), fn)
+}
+
+func (e *Engine) everyID(period units.Time, label uint16, fn func(now units.Time) bool) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
@@ -92,9 +197,9 @@ func (e *Engine) Every(period units.Time, fn func(now units.Time) bool) {
 		if !fn(now) {
 			return
 		}
-		e.At(now+period, tick)
+		e.atID(now+period, label, tick)
 	}
-	e.At(e.now+period, tick)
+	e.atID(e.now+period, label, tick)
 }
 
 // Halt stops the engine: Run and RunUntil return after the current event
@@ -116,7 +221,15 @@ func (e *Engine) step(limit units.Time) bool {
 	it := heap.Pop(&e.queue).(item)
 	e.now = it.at
 	e.nSteps++
-	it.fn(e.now)
+	e.curLabel = it.label
+	if e.obs != nil {
+		start := time.Now()
+		it.fn(e.now)
+		e.obs.EventExecuted(e.labelName(it.label), it.at, time.Since(start).Nanoseconds())
+	} else {
+		it.fn(e.now)
+	}
+	e.curLabel = 0
 	return true
 }
 

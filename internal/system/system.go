@@ -18,6 +18,7 @@ import (
 	"coolpim/internal/kernels"
 	"coolpim/internal/power"
 	"coolpim/internal/sim"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/thermal"
 	"coolpim/internal/units"
 )
@@ -48,6 +49,16 @@ type Config struct {
 	LaunchOverhead units.Time
 	// MaxSimTime aborts runaway simulations.
 	MaxSimTime units.Time
+
+	// Telemetry, when non-nil, enables the observability layer for the
+	// run: the cube, GPU and throttling mechanism emit trace events, the
+	// registry exposes live metrics, the Series sampler records aligned
+	// time series, and the engine profiles per-component handler time.
+	// Nil (the default) disables all of it at zero hot-path cost.
+	Telemetry *telemetry.Telemetry
+	// TelemetrySample is the telemetry Series sampling period
+	// (0 → SampleInterval).
+	TelemetrySample units.Time
 
 	// MultiLevelHW enables the paper's footnote-4 extension for the
 	// CoolPIMHW policy: a second (critical) thermal error state above
@@ -158,8 +169,19 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	eng := sim.New()
 	space := kernels.SpaceFor(g)
 
+	tel := cfg.Telemetry
+	var trace *telemetry.Tracer
+	if tel.Enabled() {
+		trace = tel.Tracer
+		eng.SetObserver(tel.Profile())
+		// Backpressure can fire per request; keep one representative
+		// event per thermal tick and count the rest.
+		trace.SetMinGap(telemetry.EvBackpressure, cfg.ThermalTick)
+	}
+
 	cube := hmc.New(eng, space, cfg.HMC)
 	cube.DisableThermalEffects = policy.ThermalEffectsDisabled()
+	cube.Trace = trace
 
 	// Build the throttling policy.
 	var pol core.Policy
@@ -205,9 +227,21 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	default:
 		return nil, fmt.Errorf("system: unknown policy %v", policy)
 	}
+	switch {
+	case sw != nil:
+		sw.Trace = trace
+		trace.PoolInit(0, "sw-ptp", initialPool)
+	case hw != nil:
+		hw.Trace = trace
+		trace.PoolInit(0, "hw-pcu", initialPool)
+	case mhw != nil:
+		mhw.Trace = trace
+		trace.PoolInit(0, "hw-pcu", initialPool)
+	}
 
 	dev := gpu.New(eng, space, cube, pol, cfg.GPU)
 	dev.PIMOffloadActive = policy != core.NonOffloading
+	dev.Trace = trace
 
 	w.Setup(space, g)
 
@@ -251,6 +285,64 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		}
 		return -1
 	}
+	// Telemetry instruments. Both histograms stay nil when telemetry is
+	// disabled; Observe on a nil histogram is a no-op.
+	var tempHist, pimRateHist *telemetry.Histogram
+	if tel.Enabled() {
+		warnStats := func() (seen, applied uint64) {
+			switch {
+			case sw != nil:
+				return sw.Warnings()
+			case hw != nil:
+				return hw.Warnings()
+			case mhw != nil:
+				s, a, _ := mhw.Warnings()
+				return s, a
+			}
+			return 0, 0
+		}
+		reg := tel.Registry
+		reg.CounterFunc("coolpim_pim_ops_total",
+			"PIM operations executed in the cube's vault ALUs",
+			func() float64 { return float64(cube.Counters().PIMOps) })
+		reg.CounterFunc("coolpim_ext_data_bytes_total",
+			"data bytes moved over the external SerDes links",
+			func() float64 { return float64(cube.Counters().ExtDataBytes) })
+		reg.CounterFunc("coolpim_req_flits_total",
+			"request-link FLITs transferred",
+			func() float64 { return float64(cube.Counters().ReqFlits) })
+		reg.CounterFunc("coolpim_resp_flits_total",
+			"response-link FLITs transferred",
+			func() float64 { return float64(cube.Counters().RespFlits) })
+		reg.CounterFunc("coolpim_thermal_warnings_total",
+			"thermal-warning responses delivered to the source throttle",
+			func() float64 { s, _ := warnStats(); return float64(s) })
+		reg.CounterFunc("coolpim_control_updates_total",
+			"delayed control updates the throttling mechanism applied",
+			func() float64 { _, a := warnStats(); return float64(a) })
+		reg.CounterFunc("coolpim_gpu_warp_ops_total",
+			"warp instructions issued by the GPU",
+			func() float64 { return float64(dev.Stats().WarpOps) })
+		reg.CounterFunc("coolpim_gpu_pim_blocks_total",
+			"thread blocks launched on the PIM-enabled kernel",
+			func() float64 { return float64(dev.Stats().PIMBlocks) })
+		reg.CounterFunc("coolpim_gpu_nonpim_blocks_total",
+			"thread blocks launched on the non-PIM shadow kernel",
+			func() float64 { return float64(dev.Stats().NonPIMBlocks) })
+		reg.GaugeFunc("coolpim_pool_size",
+			"SW-DynT token-pool size or HW-DynT total PIM-enabled warps (-1 for static policies)",
+			func() float64 { return float64(poolSize()) })
+		reg.GaugeFunc("coolpim_peak_dram_celsius",
+			"hottest DRAM temperature observed so far",
+			func() float64 { return float64(res.PeakDRAM) })
+		tempHist = reg.Histogram("coolpim_dram_temp_celsius",
+			"peak DRAM temperature sampled every thermal tick",
+			telemetry.LinearBounds(60, 2.5, 20))
+		pimRateHist = reg.Histogram("coolpim_pim_rate_ops_per_ns",
+			"windowed PIM offloading rate per sample interval",
+			telemetry.LinearBounds(0.25, 0.25, 16))
+	}
+
 	applyPower := func(now units.Time, dt units.Time) {
 		ctr := cube.Counters()
 		d := deltaCounters(ctr, prevThermal)
@@ -279,28 +371,59 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		if temp > res.PeakDRAM {
 			res.PeakDRAM = temp
 		}
+		tempHist.Observe(float64(temp))
 		cube.SetTemperature(now, temp)
 	}
-	eng.Every(cfg.ThermalTick, func(now units.Time) bool {
+	eng.EveryNamed(cfg.ThermalTick, "thermal", func(now units.Time) bool {
 		applyPower(now, cfg.ThermalTick)
 		return !finished
 	})
 
 	// Time-series sampling.
 	var prevSample hmc.Counters
-	eng.Every(cfg.SampleInterval, func(now units.Time) bool {
+	eng.EveryNamed(cfg.SampleInterval, "sampler", func(now units.Time) bool {
 		ctr := cube.Counters()
 		d := deltaCounters(ctr, prevSample)
 		prevSample = ctr
+		rate := units.OpsPerNs(float64(d.PIMOps) / cfg.SampleInterval.Nanoseconds())
+		pimRateHist.Observe(float64(rate))
 		res.Series = append(res.Series, Sample{
 			At:       now,
-			PIMRate:  units.OpsPerNs(float64(d.PIMOps) / cfg.SampleInterval.Nanoseconds()),
+			PIMRate:  rate,
 			ExtBW:    units.BytesPerSecond(float64(d.ExtDataBytes) / cfg.SampleInterval.Seconds()),
 			PeakDRAM: model.PeakDRAM(),
 			PoolSize: poolSize(),
 		})
 		return !finished
 	})
+
+	// Telemetry time series: windowed offload rate / external bandwidth,
+	// live temperature and pool size, aligned on the telemetry cadence.
+	if tel.Enabled() {
+		sampleEvery := cfg.TelemetrySample
+		if sampleEvery <= 0 {
+			sampleEvery = cfg.SampleInterval
+		}
+		var prevTel, dTel hmc.Counters
+		// The first column computes the window delta the others share;
+		// columns are evaluated in registration order.
+		tel.Series.AddColumn("pim_rate_ops_per_ns", func(units.Time) float64 {
+			ctr := cube.Counters()
+			dTel = deltaCounters(ctr, prevTel)
+			prevTel = ctr
+			return float64(dTel.PIMOps) / sampleEvery.Nanoseconds()
+		})
+		tel.Series.AddColumn("ext_bw_gbps", func(units.Time) float64 {
+			return float64(dTel.ExtDataBytes) / sampleEvery.Seconds() / 1e9
+		})
+		tel.Series.AddColumn("peak_dram_c", func(units.Time) float64 {
+			return float64(model.PeakDRAM())
+		})
+		tel.Series.AddColumn("pool_size", func(units.Time) float64 {
+			return float64(poolSize())
+		})
+		tel.Series.Start(eng, sampleEvery, func() bool { return finished })
+	}
 
 	// Workload driver: chain launches through OnComplete.
 	var runNext func(now units.Time)
@@ -313,11 +436,11 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		}
 		res.Launches++
 		l.OnComplete = func(at units.Time) {
-			eng.After(cfg.LaunchOverhead, runNext)
+			eng.AfterNamed(cfg.LaunchOverhead, "driver", runNext)
 		}
 		dev.RunKernel(l)
 	}
-	eng.After(0, runNext)
+	eng.AfterNamed(0, "driver", runNext)
 
 	eng.RunUntil(cfg.MaxSimTime)
 	if !finished && !res.Shutdown {

@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry holds a run's metric instruments. Instruments are registered
+// once at wiring time and read at export; the registry is not safe for
+// concurrent use (each simulation run is single-threaded and owns its
+// own registry).
+type Registry struct {
+	counters []*Counter
+	funcs    []*funcMetric
+	hists    []*Histogram
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) claim(name string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = true
+}
+
+// validMetricName checks the Prometheus metric-name grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing metric owned by the telemetry
+// layer itself (for externally maintained totals, use CounterFunc).
+type Counter struct {
+	name, help string
+	v          float64
+}
+
+// Counter registers and returns a new incremental counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.claim(name)
+	c := &Counter{name: name, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (which must be non-negative).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("telemetry: counter %s decreased by %g", c.name, d))
+	}
+	c.v += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// funcMetric is a counter or gauge whose value is read from a callback
+// at export time — the natural fit for the simulator's existing
+// cumulative Stats structs.
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+// CounterFunc registers a callback-backed counter (a cumulative total
+// maintained elsewhere, e.g. an hmc.Counters field).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.claim(name)
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a callback-backed gauge (an instantaneous value,
+// e.g. the current peak DRAM temperature or token-pool size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.claim(name)
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// Histogram accumulates observations into fixed buckets, Prometheus
+// style: counts[i] holds observations <= bounds[i], with an implicit
+// +Inf bucket at the end.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum        float64
+	n          uint64
+}
+
+// Histogram registers a histogram with the given upper bucket bounds
+// (which must be strictly increasing and non-empty).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.claim(name)
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s without buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not increasing", name))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// LinearBounds returns n upper bounds start, start+step, ...
+func LinearBounds(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+// Observe records one value. Nil-safe so call sites can stay unguarded
+// when telemetry is disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing the target rank, the same
+// estimate Prometheus's histogram_quantile computes. The first bucket
+// interpolates from zero; observations beyond the last finite bound
+// report that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	cum := uint64(0)
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if c == 0 {
+			return lo
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (h.bounds[i]-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// formatValue renders a metric value the way Prometheus text format does.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus dumps every instrument in Prometheus text exposition
+// format, sorted by metric name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type entry struct {
+		name string
+		emit func(io.Writer)
+	}
+	var entries []entry
+	for _, c := range r.counters {
+		c := c
+		entries = append(entries, entry{c.name, func(w io.Writer) {
+			writeHeader(w, c.name, c.help, "counter")
+			fmt.Fprintf(w, "%s %s\n", c.name, formatValue(c.v))
+		}})
+	}
+	for _, f := range r.funcs {
+		f := f
+		entries = append(entries, entry{f.name, func(w io.Writer) {
+			writeHeader(w, f.name, f.help, f.typ)
+			fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		}})
+	}
+	for _, h := range r.hists {
+		h := h
+		entries = append(entries, entry{h.name, func(w io.Writer) {
+			writeHeader(w, h.name, h.help, "histogram")
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatValue(b), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.n)
+			fmt.Fprintf(w, "%s_sum %s\n", h.name, formatValue(h.sum))
+			fmt.Fprintf(w, "%s_count %d\n", h.name, h.n)
+		}})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var sb strings.Builder
+	for _, e := range entries {
+		e.emit(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// MetricRow is one (name, rendered value) pair of a registry snapshot.
+type MetricRow struct {
+	Name  string
+	Value string
+}
+
+// Snapshot returns the current value of every scalar instrument (and
+// histogram count/mean), sorted by name — the data behind the summary
+// table.
+func (r *Registry) Snapshot() []MetricRow {
+	var rows []MetricRow
+	for _, c := range r.counters {
+		rows = append(rows, MetricRow{c.name, formatValue(c.v)})
+	}
+	for _, f := range r.funcs {
+		rows = append(rows, MetricRow{f.name, formatValue(f.fn())})
+	}
+	for _, h := range r.hists {
+		mean := math.NaN()
+		if h.n > 0 {
+			mean = h.sum / float64(h.n)
+		}
+		rows = append(rows, MetricRow{h.name, fmt.Sprintf("count=%d mean=%.3g p50=%.3g p99=%.3g",
+			h.n, mean, h.Quantile(0.50), h.Quantile(0.99))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}

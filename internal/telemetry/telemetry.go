@@ -1,0 +1,145 @@
+// Package telemetry is the simulation-time observability layer shared by
+// every component of the CoolPIM platform. It provides:
+//
+//   - a metrics Registry of counters, gauges and histograms with a
+//     Prometheus-text exporter, the queryable end-of-run state of a run;
+//   - a Tracer emitting a structured stream of typed events — thermal
+//     warning raise/clear, DRAM derating phase transitions, token-pool
+//     resizes, PIM offload accept/reject, link FLIT backpressure — with
+//     simulated timestamps and a JSONL exporter, the Fig. 8/14-style view
+//     of the closed control loop;
+//   - a Series sampler driven by sim.Engine.Every that records aligned
+//     per-component time series and exports them as CSV;
+//   - an EngineProfile implementing sim.Observer, aggregating event
+//     counts and wall-clock handler time per component label.
+//
+// The whole layer is opt-in and nil-safe: components hold a *Tracer that
+// may be nil, and every emit method on a nil tracer is a single
+// predictable branch with no allocation, so the simulation hot path is
+// unaffected when telemetry is disabled (see the package benchmarks).
+// All recorded data is a pure function of the simulation, so two runs
+// with identical seeds produce byte-identical trace, series and metrics
+// exports — the determinism regression test in internal/system relies
+// on this. Wall-clock profiling data is kept out of those exporters for
+// the same reason (it only appears in the human-readable summary).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"coolpim/internal/units"
+)
+
+// Telemetry bundles the observability subsystem of one simulation run:
+// one registry, one trace stream, one time-series sampler and one engine
+// profile. A nil *Telemetry means "disabled" throughout the codebase.
+// A Telemetry must not be shared between concurrent runs.
+type Telemetry struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Series   *Series
+	profile  *EngineProfile
+}
+
+// New returns an enabled, empty telemetry hub.
+func New() *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(),
+		Series:   NewSeries(),
+		profile:  NewEngineProfile(),
+	}
+}
+
+// Enabled reports whether the hub is active (non-nil).
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Profile returns the engine profile observer, for sim.Engine.SetObserver.
+func (t *Telemetry) Profile() *EngineProfile { return t.profile }
+
+// EngineProfile aggregates engine-level profiling per component label:
+// how many events each component executed and how much wall-clock time
+// its handlers took. It implements sim.Observer structurally.
+type EngineProfile struct {
+	byLabel map[string]*labelStats
+}
+
+type labelStats struct {
+	events uint64
+	wallNs int64
+}
+
+// NewEngineProfile returns an empty profile.
+func NewEngineProfile() *EngineProfile {
+	return &EngineProfile{byLabel: make(map[string]*labelStats)}
+}
+
+// EventExecuted records one executed engine event (sim.Observer).
+func (p *EngineProfile) EventExecuted(label string, _ units.Time, wallNs int64) {
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	s := p.byLabel[label]
+	if s == nil {
+		s = &labelStats{}
+		p.byLabel[label] = s
+	}
+	s.events++
+	s.wallNs += wallNs
+}
+
+// LabelStat is one row of the engine profile.
+type LabelStat struct {
+	Label  string
+	Events uint64
+	WallNs int64
+}
+
+// Stats returns the profile rows sorted by descending wall time.
+func (p *EngineProfile) Stats() []LabelStat {
+	out := make([]LabelStat, 0, len(p.byLabel))
+	for l, s := range p.byLabel {
+		out = append(out, LabelStat{Label: l, Events: s.events, WallNs: s.wallNs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallNs != out[j].WallNs {
+			return out[i].WallNs > out[j].WallNs
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WriteSummary prints the human-readable end-of-run summary: trace event
+// counts by kind, the engine profile, and every registered metric.
+func (t *Telemetry) WriteSummary(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	if counts := t.Tracer.CountsByKind(); len(counts) > 0 {
+		fmt.Fprintf(w, "trace events (%d total):\n", t.Tracer.Len())
+		for _, kc := range counts {
+			line := fmt.Sprintf("  %-28s %8d", kc.Kind, kc.Count)
+			if kc.Suppressed > 0 {
+				line += fmt.Sprintf("  (+%d rate-limited)", kc.Suppressed)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	if stats := t.profile.Stats(); len(stats) > 0 {
+		fmt.Fprintf(w, "engine profile (events scheduled under each component label):\n")
+		fmt.Fprintf(w, "  %-14s %12s %12s\n", "component", "events", "wall")
+		for _, s := range stats {
+			fmt.Fprintf(w, "  %-14s %12d %11.1fms\n", s.Label, s.Events, float64(s.WallNs)/1e6)
+		}
+	}
+	if rows := t.Registry.Snapshot(); len(rows) > 0 {
+		fmt.Fprintln(w, "metrics:")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-36s %s\n", r.Name, r.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coolpim/internal/sim"
+	"coolpim/internal/units"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	reg := NewRegistry()
+	// Buckets 10,20,...,100; observe 1..100 uniformly.
+	h := reg.Histogram("h", "test", LinearBounds(10, 10, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %g, want 5050", h.Sum())
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0.5, 50}, {0.9, 90}, {0.1, 10}, {1.0, 100},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Values beyond the last finite bound clamp to it.
+	h2 := reg.Histogram("h2", "test", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want 2 (last finite bound)", got)
+	}
+	// Empty histogram reports NaN.
+	h3 := reg.Histogram("h3", "test", []float64{1})
+	if got := h3.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %g, want NaN", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{2, 1})
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	reg.GaugeFunc("dup", "", func() float64 { return 0 })
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	c := NewRegistry().Counter("c", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("runs_total", "total runs")
+	c.Inc()
+	c.Inc()
+	reg.GaugeFunc("temp_celsius", "current temp", func() float64 { return 86.5 })
+	h := reg.Histogram("lat_ns", "latency", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter\nruns_total 2\n",
+		"# TYPE temp_celsius gauge\ntemp_celsius 86.5\n",
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{le="10"} 1`,
+		`lat_ns_bucket{le="100"} 2`,
+		`lat_ns_bucket{le="+Inf"} 3`,
+		"lat_ns_sum 5055\n",
+		"lat_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name value" with a parseable value; names
+	// sorted ascending.
+	var prevName string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		name = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if name < prevName {
+			t.Errorf("metrics not sorted: %q after %q", name, prevName)
+		}
+		prevName = name
+	}
+}
+
+func TestTracerKindsAndJSONL(t *testing.T) {
+	tr := NewTracer()
+	tr.PoolInit(0, "sw-ptp", 64)
+	tr.ThermalWarning(10*units.Microsecond, true, 86.2)
+	tr.PhaseTransition(10*units.Microsecond, "Normal", "Extended", 86.2)
+	tr.PoolResize(12*units.Microsecond, "sw-ptp", 64, 58, "warning")
+	tr.OffloadBlock(13*units.Microsecond, false, 3, 41)
+	tr.LinkBackpressure(14*units.Microsecond, 2, 120*units.Nanosecond)
+	tr.ThermalWarning(20*units.Microsecond, false, 84.9)
+	tr.Shutdown(30*units.Microsecond, 105.5)
+
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d JSONL lines, want 8", len(lines))
+	}
+	for _, want := range []string{
+		`{"t_ps":0,"t_ms":0.000000,"kind":"pool.init","mechanism":"sw-ptp","size":64}`,
+		`{"t_ps":10000000,"t_ms":0.010000,"kind":"thermal.warning.raise","temp_c":86.20}`,
+		`"kind":"thermal.phase","from":"Normal","to":"Extended"`,
+		`"kind":"pool.resize","mechanism":"sw-ptp","from":64,"to":58,"reason":"warning"`,
+		`"kind":"offload.reject","sm":3,"block":41`,
+		`"kind":"link.backpressure","link":2,"wait_ns":120.0`,
+		`"kind":"thermal.warning.clear"`,
+		`"kind":"thermal.shutdown","temp_c":105.50`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSONL missing %q:\n%s", want, sb.String())
+		}
+	}
+	counts := tr.CountsByKind()
+	if len(counts) != 8 {
+		t.Errorf("CountsByKind rows = %d, want 8 distinct kinds", len(counts))
+	}
+}
+
+func TestTracerRateLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetMinGap(EvBackpressure, units.Microsecond)
+	for i := 0; i < 10; i++ {
+		tr.LinkBackpressure(units.Time(i)*100*units.Nanosecond, 0, units.Nanosecond)
+	}
+	// Events at 0..900ns: only the first survives a 1us gap.
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after rate limiting", tr.Len())
+	}
+	tr.LinkBackpressure(2*units.Microsecond, 0, units.Nanosecond)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after the gap elapses", tr.Len())
+	}
+	counts := tr.CountsByKind()
+	if len(counts) != 1 || counts[0].Suppressed != 9 {
+		t.Fatalf("suppressed = %+v, want 9", counts)
+	}
+	// Other kinds are unaffected.
+	tr.ThermalWarning(0, true, 86)
+	tr.ThermalWarning(1, false, 86)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (no gap on warnings)", tr.Len())
+	}
+}
+
+func TestTracerCapDropsExcess(t *testing.T) {
+	tr := NewTracer()
+	tr.maxEvents = 3
+	for i := 0; i < 5; i++ {
+		tr.OffloadBlock(units.Time(i), true, 0, i)
+	}
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", tr.Len(), tr.Dropped())
+	}
+}
+
+// TestNilTracerZeroAlloc pins the disabled-telemetry contract: every emit
+// method on a nil tracer (and Observe on a nil histogram) must not
+// allocate, so components can call them unguarded on the hot path.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ThermalWarning(0, true, 86)
+		tr.PhaseTransition(0, "a", "b", 86)
+		tr.PoolResize(0, "sw-ptp", 4, 3, "warning")
+		tr.OffloadBlock(0, true, 1, 2)
+		tr.LinkBackpressure(0, 0, 1)
+		tr.Shutdown(0, 106)
+		tr.Emit(0, EvPoolInit, "")
+		h.Observe(1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer emits allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSeriesCadence(t *testing.T) {
+	eng := sim.New()
+	s := NewSeries()
+	var ticks int
+	s.AddColumn("x", func(now units.Time) float64 {
+		ticks++
+		return now.Nanoseconds()
+	})
+	stopAt := 10 * units.Microsecond
+	s.Start(eng, units.Microsecond, func() bool { return eng.Now() >= stopAt })
+	eng.RunUntil(100 * units.Microsecond)
+	// Samples at 1us..10us inclusive: stop is evaluated after recording,
+	// so the 10us sample still lands.
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 samples", s.Len())
+	}
+	if ticks != 10 {
+		t.Fatalf("column evaluated %d times, want 10", ticks)
+	}
+	for i := 0; i < s.Len(); i++ {
+		want := float64((i + 1) * 1000) // period in ns
+		if got, ok := s.Value(i, "x"); !ok || got != want {
+			t.Errorf("sample %d = %g (ok=%v), want %g", i, got, ok, want)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries()
+	s.AddColumn("a", func(units.Time) float64 { return 1.5 })
+	s.AddColumn("b", func(units.Time) float64 { return -2 })
+	s.Record(units.Millisecond)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_ms,a,b\n1.000000,1.5,-2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeriesAddColumnAfterRecordPanics(t *testing.T) {
+	s := NewSeries()
+	s.AddColumn("a", func(units.Time) float64 { return 0 })
+	s.Record(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddColumn after Record did not panic")
+		}
+	}()
+	s.AddColumn("b", func(units.Time) float64 { return 0 })
+}
+
+func TestEngineProfileAggregates(t *testing.T) {
+	p := NewEngineProfile()
+	p.EventExecuted("hmc", 0, 100)
+	p.EventExecuted("hmc", 1, 50)
+	p.EventExecuted("gpu", 2, 30)
+	p.EventExecuted("", 3, 10)
+	stats := p.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("rows = %d, want 3", len(stats))
+	}
+	if stats[0].Label != "hmc" || stats[0].Events != 2 || stats[0].WallNs != 150 {
+		t.Errorf("top row = %+v, want hmc/2/150", stats[0])
+	}
+	if stats[2].Label != "(unlabeled)" {
+		t.Errorf("empty label not mapped: %+v", stats[2])
+	}
+}
+
+func TestWriteSummarySmoke(t *testing.T) {
+	tel := New()
+	tel.Tracer.ThermalWarning(0, true, 86)
+	tel.Registry.Counter("x_total", "").Inc()
+	tel.Profile().EventExecuted("hmc", 0, 42)
+	var sb strings.Builder
+	if err := tel.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"thermal.warning.raise", "hmc", "x_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sb.String())
+		}
+	}
+	// Disabled hub: summary is a silent no-op.
+	var nilTel *Telemetry
+	if err := nilTel.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if nilTel.Enabled() {
+		t.Error("nil hub reports enabled")
+	}
+}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"coolpim/internal/units"
+)
+
+// EventKind names one event type of the trace taxonomy. Kinds use a
+// dotted <subsystem>.<event> scheme so traces can be filtered by prefix.
+type EventKind string
+
+// The event taxonomy. Each kind documents its JSON payload fields.
+const (
+	// EvWarnRaise / EvWarnClear mark the cube entering/leaving the
+	// thermal-warning state (ERRSTAT 0x01 set in response tails).
+	// Fields: temp_c.
+	EvWarnRaise EventKind = "thermal.warning.raise"
+	EvWarnClear EventKind = "thermal.warning.clear"
+	// EvPhase marks a DRAM derating phase transition (Table IV).
+	// Fields: from, to, temp_c.
+	EvPhase EventKind = "thermal.phase"
+	// EvShutdown marks the cube exceeding the 105 °C operating limit.
+	// Fields: temp_c.
+	EvShutdown EventKind = "thermal.shutdown"
+	// EvPoolInit records a throttling mechanism's initial capacity.
+	// Fields: mechanism, size.
+	EvPoolInit EventKind = "pool.init"
+	// EvPoolResize records one control update: a SW-DynT token-pool
+	// reduction or a HW-DynT aggregate PCU-limit step.
+	// Fields: mechanism, from, to, reason ("warning" or "critical").
+	EvPoolResize EventKind = "pool.resize"
+	// EvOffloadAccept / EvOffloadReject record the block-launch offload
+	// decision: whether the thread-block manager launched the PIM-enabled
+	// kernel (token acquired / PCU path) or the non-PIM shadow kernel.
+	// Fields: sm, block.
+	EvOffloadAccept EventKind = "offload.accept"
+	EvOffloadReject EventKind = "offload.reject"
+	// EvBackpressure records link-layer credit flow control delaying a
+	// request's acceptance beyond its serialization time (a congested
+	// bank holding back the sender). Fields: link, wait_ns. Rate-limited
+	// by default in system wiring — see Tracer.SetMinGap.
+	EvBackpressure EventKind = "link.backpressure"
+)
+
+// Event is one trace record. Data holds the pre-rendered JSON payload
+// fields (without braces), e.g. `"temp_c":86.20`.
+type Event struct {
+	At   units.Time
+	Kind EventKind
+	Data string
+}
+
+// Tracer collects the structured event stream of one run. Events are
+// appended in emission order; because the simulation engine executes
+// events in non-decreasing time order, trace timestamps are
+// monotonically non-decreasing. A nil *Tracer is the disabled state:
+// every emit method returns immediately without allocating.
+type Tracer struct {
+	events     []Event
+	minGap     map[EventKind]units.Time
+	lastAt     map[EventKind]units.Time
+	suppressed map[EventKind]uint64
+	maxEvents  int
+	dropped    uint64
+}
+
+// DefaultMaxEvents caps the in-memory trace; beyond it events are
+// dropped and counted, so a runaway emitter cannot exhaust memory.
+const DefaultMaxEvents = 4 << 20
+
+// NewTracer returns an enabled, empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{
+		minGap:     make(map[EventKind]units.Time),
+		lastAt:     make(map[EventKind]units.Time),
+		suppressed: make(map[EventKind]uint64),
+		maxEvents:  DefaultMaxEvents,
+	}
+}
+
+// SetMinGap rate-limits a kind: events closer than gap to the previously
+// emitted event of the same kind are counted but not recorded. Used for
+// high-frequency conditions (link backpressure can fire per request).
+func (t *Tracer) SetMinGap(kind EventKind, gap units.Time) {
+	if t == nil {
+		return
+	}
+	t.minGap[kind] = gap
+}
+
+func (t *Tracer) emit(at units.Time, kind EventKind, data string) {
+	if gap := t.minGap[kind]; gap > 0 {
+		if last, seen := t.lastAt[kind]; seen && at-last < gap {
+			t.suppressed[kind]++
+			return
+		}
+		t.lastAt[kind] = at
+	}
+	if len(t.events) >= t.maxEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind, Data: data})
+}
+
+// Emit records a generic event; data must be a valid JSON object body
+// (comma-separated `"key":value` pairs) or empty.
+func (t *Tracer) Emit(at units.Time, kind EventKind, data string) {
+	if t == nil {
+		return
+	}
+	t.emit(at, kind, data)
+}
+
+// ThermalWarning records the cube raising (raised=true) or clearing the
+// thermal-warning state.
+func (t *Tracer) ThermalWarning(at units.Time, raised bool, temp units.Celsius) {
+	if t == nil {
+		return
+	}
+	kind := EvWarnRaise
+	if !raised {
+		kind = EvWarnClear
+	}
+	t.emit(at, kind, fmt.Sprintf(`"temp_c":%.2f`, float64(temp)))
+}
+
+// PhaseTransition records a DRAM derating phase change.
+func (t *Tracer) PhaseTransition(at units.Time, from, to string, temp units.Celsius) {
+	if t == nil {
+		return
+	}
+	t.emit(at, EvPhase, fmt.Sprintf(`"from":%q,"to":%q,"temp_c":%.2f`, from, to, float64(temp)))
+}
+
+// Shutdown records a thermal shutdown.
+func (t *Tracer) Shutdown(at units.Time, temp units.Celsius) {
+	if t == nil {
+		return
+	}
+	t.emit(at, EvShutdown, fmt.Sprintf(`"temp_c":%.2f`, float64(temp)))
+}
+
+// PoolInit records a throttling mechanism's initial capacity.
+func (t *Tracer) PoolInit(at units.Time, mechanism string, size int) {
+	if t == nil {
+		return
+	}
+	t.emit(at, EvPoolInit, fmt.Sprintf(`"mechanism":%q,"size":%d`, mechanism, size))
+}
+
+// PoolResize records one control update of a throttling mechanism.
+func (t *Tracer) PoolResize(at units.Time, mechanism string, from, to int, reason string) {
+	if t == nil {
+		return
+	}
+	t.emit(at, EvPoolResize, fmt.Sprintf(`"mechanism":%q,"from":%d,"to":%d,"reason":%q`,
+		mechanism, from, to, reason))
+}
+
+// OffloadBlock records a block-launch offload decision.
+func (t *Tracer) OffloadBlock(at units.Time, accepted bool, sm, block int) {
+	if t == nil {
+		return
+	}
+	kind := EvOffloadAccept
+	if !accepted {
+		kind = EvOffloadReject
+	}
+	t.emit(at, kind, fmt.Sprintf(`"sm":%d,"block":%d`, sm, block))
+}
+
+// LinkBackpressure records credit flow control delaying acceptance on a
+// link by wait.
+func (t *Tracer) LinkBackpressure(at units.Time, link int, wait units.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(at, EvBackpressure, fmt.Sprintf(`"link":%d,"wait_ns":%.1f`, link, wait.Nanoseconds()))
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events the in-memory cap discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the recorded events (shared slice; callers must not
+// mutate).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// KindCount is one row of the by-kind event summary.
+type KindCount struct {
+	Kind       EventKind
+	Count      uint64
+	Suppressed uint64
+}
+
+// CountsByKind returns recorded (and rate-limited) event counts per
+// kind, sorted by kind name.
+func (t *Tracer) CountsByKind() []KindCount {
+	if t == nil {
+		return nil
+	}
+	counts := make(map[EventKind]uint64)
+	for _, e := range t.events {
+		counts[e.Kind]++
+	}
+	kinds := make(map[EventKind]bool)
+	for k := range counts {
+		kinds[k] = true
+	}
+	for k := range t.suppressed {
+		kinds[k] = true
+	}
+	var out []KindCount
+	for k := range kinds {
+		out = append(out, KindCount{Kind: k, Count: counts[k], Suppressed: t.suppressed[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// WriteJSONL writes the trace as one JSON object per line:
+//
+//	{"t_ps":1234000,"t_ms":0.001234,"kind":"thermal.warning.raise","temp_c":86.20}
+//
+// t_ps is the exact simulated timestamp in picoseconds; t_ms is the same
+// instant in milliseconds for human and plotting convenience.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var sb strings.Builder
+	for _, e := range t.events {
+		sb.Reset()
+		fmt.Fprintf(&sb, `{"t_ps":%d,"t_ms":%.6f,"kind":%q`, int64(e.At), e.At.Milliseconds(), string(e.Kind))
+		if e.Data != "" {
+			sb.WriteByte(',')
+			sb.WriteString(e.Data)
+		}
+		sb.WriteString("}\n")
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

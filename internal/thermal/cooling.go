@@ -1,6 +1,11 @@
 package thermal
 
-import "coolpim/internal/units"
+import (
+	"fmt"
+	"strings"
+
+	"coolpim/internal/units"
+)
 
 // Cooling describes one of the paper's Table II cooling solutions: a
 // plate-fin heat sink characterized by its thermal resistance and the
@@ -36,4 +41,28 @@ var (
 // Coolings returns the Table II rows in presentation order.
 func Coolings() []Cooling {
 	return []Cooling{Passive, LowEndActive, CommodityServer, HighEndActive}
+}
+
+// coolingNames maps the CLI spellings shared by every command and
+// example to their Table II cooling solution.
+var coolingNames = map[string]Cooling{
+	"passive":   Passive,
+	"low-end":   LowEndActive,
+	"commodity": CommodityServer,
+	"high-end":  HighEndActive,
+}
+
+// ParseCooling resolves a CLI cooling name ("passive", "low-end",
+// "commodity", "high-end") to its Table II cooling solution.
+func ParseCooling(name string) (Cooling, error) {
+	if c, ok := coolingNames[name]; ok {
+		return c, nil
+	}
+	return Cooling{}, fmt.Errorf("unknown cooling %q (want one of %s)", name, strings.Join(CoolingNames(), ", "))
+}
+
+// CoolingNames returns the accepted ParseCooling spellings in Table II
+// order.
+func CoolingNames() []string {
+	return []string{"passive", "low-end", "commodity", "high-end"}
 }
