@@ -1,0 +1,135 @@
+// Command coolpim-vet is the multichecker for the project's analyzer
+// suite (internal/analyzers): determinism, unitsafety, telemetrysafe and
+// eventhygiene, plus validation of //coolpim:allow directives.
+//
+// It runs in two modes:
+//
+//	go vet -vettool=$(pwd)/bin/coolpim-vet ./...   # toolchain-driven
+//	coolpim-vet [-only name[,name]] [dir ...]      # standalone
+//
+// Under go vet the toolchain hands the tool one JSON config per package
+// with export data for its imports (the vettool protocol); standalone
+// mode type-checks the module from source and defaults to every package
+// under the enclosing module. Exit status is 1 when any diagnostic is
+// reported, 0 otherwise.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coolpim-vet: ")
+
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+firstSentence(a.Doc)+")")
+	}
+	only := flag.String("only", "", "comma-separated analyzer names to run, disabling the rest")
+	printflags := flag.Bool("flags", false, "print the tool's flags as JSON (go vet protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *printflags {
+		printFlagsJSON()
+		return
+	}
+	if *only != "" {
+		for name := range enabled {
+			*enabled[name] = false
+		}
+		for _, name := range strings.Split(*only, ",") {
+			b, ok := enabled[strings.TrimSpace(name)]
+			if !ok {
+				log.Fatalf("-only: unknown analyzer %q (known: %v)", name, analyzers.Names())
+			}
+			*b = true
+		}
+	}
+	var suite []*analysis.Analyzer
+	for _, a := range analyzers.All() {
+		if *enabled[a.Name] {
+			suite = append(suite, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], suite)
+		return
+	}
+	runStandalone(args, suite)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: coolpim-vet [flags] [dir ...]\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(pwd)/bin/coolpim-vet ./...\n\nanalyzers:\n")
+	for _, a := range analyzers.All() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, ','); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printFlagsJSON implements the `-flags` handshake: go vet queries the
+// tool for its flag set before forwarding command-line flags.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements `-V=full`, which the go command invokes to
+// fingerprint the tool for build caching.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return false }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel coolpim-vet buildID=%x\n", filepath.Base(os.Args[0]), h[:12])
+	os.Exit(0)
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/driver"
+	"coolpim/internal/analyzers/load"
+)
+
+// runStandalone type-checks packages from source (no toolchain driver)
+// and analyzes them. With no arguments it analyzes every package under
+// the enclosing module; arguments are package directories ("./..."
+// recurses from that root). Only non-test files are loaded — the
+// analyzers skip _test.go files anyway, and go vet mode covers test
+// compilation units.
+func runStandalone(args []string, suite []*analysis.Analyzer) {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dirs []string
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		if rest, ok := strings.CutSuffix(arg, "..."); ok {
+			root := filepath.Clean(rest)
+			if root == "" || root == "." {
+				root = loader.ModRoot()
+			}
+			sub, err := packageDirs(root)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, filepath.Clean(arg))
+	}
+	total := 0
+	for _, dir := range dirs {
+		total += checkDir(loader, dir, suite)
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}
+
+// packageDirs lists directories under root containing buildable Go
+// files, skipping testdata, hidden and tool-output directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "bin" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func checkDir(loader *load.Loader, dir string, suite []*analysis.Analyzer) int {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := filepath.Rel(loader.ModRoot(), abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		log.Fatalf("%s is outside module %s", dir, loader.ModRoot())
+	}
+	importPath := loader.ModPath()
+	if rel != "." {
+		importPath += "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := loader.Load(importPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings, err := driver.Run(driver.Unit{
+		Fset:  loader.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}, suite, analyzers.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return len(findings)
+}

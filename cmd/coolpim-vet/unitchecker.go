@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/driver"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for
+// each package when driving a -vettool (the unitchecker protocol of
+// golang.org/x/tools/go/analysis/unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by cfgFile and
+// exits: 0 when clean, 1 on diagnostics (printed to stderr in the
+// standard file:line:col format go vet surfaces).
+func runUnitchecker(cfgFile string, suite []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("parse %s: %v", cfgFile, err)
+	}
+	// The go command runs the tool over the entire import graph so
+	// fact-based analyzers can propagate; this suite is fact-free and
+	// scoped to the module, so everything else returns immediately.
+	// The (empty) facts file must still be written — its absence fails
+	// the toolchain's cache bookkeeping.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i] // "pkg [pkg.test]" test variant
+	}
+	inScope := importPath == "coolpim" || strings.HasPrefix(importPath, "coolpim/")
+	if inScope && !cfg.VetxOnly {
+		if n := check(cfg, suite); n > 0 {
+			writeVetx(cfg)
+			os.Exit(1)
+		}
+	}
+	writeVetx(cfg)
+}
+
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("coolpim-vet: no facts\n"), 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// check parses and type-checks the package from cfg (imports resolve
+// through the export data the toolchain supplies in PackageFile), runs
+// the suite, prints findings, and returns their count.
+func check(cfg *vetConfig, suite []*analysis.Analyzer) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := &types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " // indirect"),
+		Sizes:     types.SizesFor("gc", build()),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	findings, err := driver.Run(driver.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info},
+		suite, analyzers.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return len(findings)
+}
+
+func build() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,91 @@
+// Package allow implements the //coolpim:allow suppression directive
+// shared by every analyzer in the coolpim-vet suite.
+//
+// A directive names exactly one analyzer and suppresses that analyzer's
+// diagnostics on exactly one source line: the directive's own line when
+// it trails code, or the immediately following line when the directive
+// stands alone. Anything after the analyzer name is free-form
+// justification text, which reviewers should insist on:
+//
+//	start := time.Now() //coolpim:allow determinism profiling only, never feeds the sim
+//
+//	//coolpim:allow determinism experiment matrix fans out across workers
+//	go worker(jobs)
+//
+// Suppression is deliberately narrow — there is no file- or
+// package-level form — so each exemption stays attached to the one
+// statement it excuses.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment text (after //) introducing a directive.
+const Prefix = "coolpim:allow"
+
+// CheckerName is the pseudo-analyzer name under which the driver reports
+// malformed directives (unknown analyzer names, missing names). It is a
+// valid target for directives itself, though suppressing directive
+// hygiene findings is rarely a good idea.
+const CheckerName = "allowlist"
+
+// Directive is one parsed //coolpim:allow comment.
+type Directive struct {
+	Pos    token.Pos // position of the comment
+	File   string    // file name of the comment
+	Target int       // line whose diagnostics the directive suppresses
+	Name   string    // analyzer name; "" if the directive names none
+	Reason string    // free-form justification text
+}
+
+// Collect parses every //coolpim:allow directive in the files. Each
+// directive targets its own line if any code shares it, otherwise the
+// next line.
+func Collect(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+Prefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := Directive{Pos: c.Pos(), File: pos.Filename, Target: pos.Line}
+				if !codeLines[pos.Line] {
+					d.Target = pos.Line + 1
+				}
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					d.Name = fields[0]
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), d.Name))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Suppresses reports whether d suppresses a diagnostic from the named
+// analyzer at the given file position.
+func (d Directive) Suppresses(analyzer string, pos token.Position) bool {
+	return d.Name == analyzer && d.File == pos.Filename && d.Target == pos.Line
+}

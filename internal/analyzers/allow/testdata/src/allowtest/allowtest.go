@@ -1,0 +1,22 @@
+// Package allowtest is testdata for the //coolpim:allow directive: each
+// directive suppresses exactly one analyzer on exactly one line, and
+// malformed directives are themselves diagnosed.
+package allowtest
+
+import "time"
+
+func clocks() (time.Time, time.Time, time.Time) {
+	a := time.Now() //coolpim:allow determinism suppressed: this line only
+	b := time.Now() // want `wall-clock read time.Now`
+	c := time.Now() //coolpim:allow unitsafety wrong analyzer named // want `wall-clock read time.Now`
+	return a, b, c
+}
+
+func spawn(fn func()) {
+	//coolpim:allow determinism standalone directive targets the next line
+	go fn()
+	go fn() // want `goroutine spawned in a simulation package`
+}
+
+//coolpim:allow nosuchchecker bogus name // want `names unknown analyzer "nosuchchecker"`
+func empty() {}

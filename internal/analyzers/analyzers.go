@@ -1,0 +1,34 @@
+// Package analyzers registers the coolpim-vet suite: the project's
+// static checks that turn the repository's determinism, unit-safety and
+// telemetry conventions into machine-enforced invariants. See DESIGN.md
+// §8 for what each analyzer guards and why.
+package analyzers
+
+import (
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/determinism"
+	"coolpim/internal/analyzers/eventhygiene"
+	"coolpim/internal/analyzers/telemetrysafe"
+	"coolpim/internal/analyzers/unitsafety"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		unitsafety.Analyzer,
+		telemetrysafe.Analyzer,
+		eventhygiene.Analyzer,
+	}
+}
+
+// Names returns the analyzer names in suite order; these are the valid
+// targets of //coolpim:allow directives.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,31 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/analysistest"
+	"coolpim/internal/analyzers/determinism"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{determinism.Analyzer}
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "determtest", "coolpim/internal/determtest", suite(), analyzers.Names())
+}
+
+// TestObserverException loads testdata under the real engine's import
+// path to exercise the baked-in exception for Engine.step.
+func TestObserverException(t *testing.T) {
+	analysistest.Run(t, "simexc", "coolpim/internal/sim", suite(), analyzers.Names())
+}
+
+// TestOutOfScope proves the analyzer is silent outside
+// coolpim/internal/...: the same violations under a cmd-style path
+// produce no diagnostics.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "cmdscope", "coolpim/cmd/scopetest", suite(), analyzers.Names())
+}

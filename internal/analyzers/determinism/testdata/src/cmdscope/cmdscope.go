@@ -1,0 +1,11 @@
+// Package cmdscope is analyzer testdata loaded under a coolpim/cmd/...
+// import path: command-line front ends may read wall clocks and spawn
+// goroutines, so the determinism analyzer must stay silent here.
+package cmdscope
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	go func() {}() // ok: outside coolpim/internal/...
+	return time.Since(start)
+}

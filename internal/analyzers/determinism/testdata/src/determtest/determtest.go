@@ -1,0 +1,64 @@
+// Package determtest is analyzer testdata: each "want" line is a
+// construct the determinism analyzer must flag; unannotated lines are
+// the sanctioned alternatives it must accept.
+package determtest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"coolpim/internal/sim"
+	"coolpim/internal/units"
+)
+
+func wallClock() int64 {
+	t := time.Now()                            // want `wall-clock read time.Now`
+	return t.UnixNano() + int64(time.Since(t)) // want `wall-clock read time.Since`
+}
+
+func randomness(rng *rand.Rand) int {
+	n := rand.Intn(4)                  // want `global math/rand.Intn`
+	n += rng.Intn(4)                   // ok: explicitly seeded generator
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand.Shuffle`
+	_ = rand.New(rand.NewSource(1))    // ok: constructing a seeded generator
+	return n
+}
+
+func spawn(work func()) {
+	go work() // want `goroutine spawned in a simulation package`
+}
+
+// Exported is an order-sensitive sink for the map-iteration check.
+var Exported []int
+
+type holder struct {
+	Rows []int
+	rows []int
+}
+
+func mapIteration(eng *sim.Engine, m map[int]units.Time, h *holder) {
+	for _, d := range m {
+		eng.At(d, func(now units.Time) {}) // want `schedules engine events \(Engine.At\)`
+	}
+	for k := range m {
+		fmt.Println(k) // want `writes output \(fmt.Println\)`
+	}
+	for k := range m {
+		Exported = append(Exported, k) // want `appends to exported slice Exported`
+	}
+	for k := range m {
+		h.Rows = append(h.Rows, k) // want `appends to exported slice Rows`
+	}
+	// ok: the sanctioned pattern — collect locally, sort, then act.
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+		h.rows = append(h.rows, k) // ok: unexported accumulation
+	}
+	_ = keys
+	// ok: slice iteration is ordered.
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}

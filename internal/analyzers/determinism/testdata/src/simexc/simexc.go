@@ -1,0 +1,24 @@
+// Package sim is analyzer testdata loaded under the import path
+// coolpim/internal/sim: it proves the baked-in exception for the
+// Observer wall-clock path (Engine.step) and that the exception does not
+// leak to other functions in the package.
+package sim
+
+import "time"
+
+// Engine mimics the shape of the real engine's profiling path.
+type Engine struct {
+	obs func(wallNs int64)
+}
+
+func (e *Engine) step() bool {
+	if e.obs != nil {
+		start := time.Now() // ok: baked-in Observer exception in Engine.step
+		e.obs(time.Since(start).Nanoseconds())
+	}
+	return false
+}
+
+func (e *Engine) elsewhere() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now`
+}

@@ -1,0 +1,118 @@
+// Package driver runs a set of analyzers over one type-checked package
+// and applies the //coolpim:allow suppression pass. It is shared by the
+// three front ends: the go vet -vettool unit checker, coolpim-vet's
+// standalone directory mode, and the analysistest harness.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"coolpim/internal/analyzers/allow"
+	"coolpim/internal/analyzers/analysis"
+)
+
+// Unit is one package's worth of parsed, type-checked input.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Finding is one post-suppression diagnostic, attributed to its
+// analyzer and resolved to a printable position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run executes the analyzers on the unit, validates //coolpim:allow
+// directives against knownNames (reporting unknown or missing analyzer
+// names under allow.CheckerName), filters suppressed diagnostics, and
+// returns the survivors sorted by position.
+func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      u.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool, len(knownNames)+1)
+	for _, n := range knownNames {
+		known[n] = true
+	}
+	known[allow.CheckerName] = true
+
+	directives := allow.Collect(u.Fset, u.Files)
+	for _, d := range directives {
+		switch {
+		case d.Name == "":
+			findings = append(findings, Finding{
+				Analyzer: allow.CheckerName,
+				Pos:      u.Fset.Position(d.Pos),
+				Message:  fmt.Sprintf("//%s directive names no analyzer; write //%s <analyzer> <reason>", allow.Prefix, allow.Prefix),
+			})
+		case !known[d.Name]:
+			findings = append(findings, Finding{
+				Analyzer: allow.CheckerName,
+				Pos:      u.Fset.Position(d.Pos),
+				Message:  fmt.Sprintf("//%s directive names unknown analyzer %q (known: %v)", allow.Prefix, d.Name, knownNames),
+			})
+		}
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.Suppresses(f.Analyzer, f.Pos) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	findings = kept
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,15 @@
+package eventhygiene_test
+
+import (
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/analysistest"
+	"coolpim/internal/analyzers/eventhygiene"
+)
+
+func TestEventHygiene(t *testing.T) {
+	analysistest.Run(t, "evtest", "coolpim/internal/evtest",
+		[]*analysis.Analyzer{eventhygiene.Analyzer}, analyzers.Names())
+}

@@ -1,0 +1,50 @@
+// Package evtest is analyzer testdata for eventhygiene: event closures
+// must not capture loop variables or re-enter the engine run loop.
+package evtest
+
+import (
+	"coolpim/internal/sim"
+	"coolpim/internal/units"
+)
+
+func schedule(eng *sim.Engine, delays []units.Time) {
+	for i, d := range delays {
+		eng.At(d, func(now units.Time) {
+			use(i) // want `event closure passed to Engine.At captures loop variable i`
+		})
+	}
+	for i := range delays {
+		block := i // ok below: a fresh local is rebound per iteration
+		eng.After(0, func(now units.Time) {
+			use(block)
+		})
+	}
+	for n := 0; n < 4; n++ {
+		eng.AfterNamed(0, "gpu", func(now units.Time) {
+			use(n) // want `event closure passed to Engine.AfterNamed captures loop variable n`
+		})
+	}
+	// ok: loop variable read outside the closure at schedule time.
+	for i, d := range delays {
+		use(i)
+		eng.At(d, func(now units.Time) { use(-1) })
+	}
+}
+
+func reentrant(eng *sim.Engine) {
+	eng.At(0, func(now units.Time) {
+		eng.Run() // want `event closure calls Engine.Run reentrantly`
+	})
+	eng.After(0, func(now units.Time) {
+		eng.RunUntil(now + units.Millisecond) // want `event closure calls Engine.RunUntil reentrantly`
+	})
+	eng.At(0, func(now units.Time) {
+		eng.Halt() // ok: Halt is the sanctioned stop signal
+	})
+	eng.Every(units.Microsecond, func(now units.Time) bool {
+		eng.After(units.Nanosecond, func(units.Time) {}) // ok: scheduling more work is the point
+		return true
+	})
+}
+
+func use(int) {}

@@ -1,0 +1,215 @@
+// Package load parses and type-checks packages of this module (and
+// analyzer testdata packages) from source, using only the standard
+// library. Module-internal imports resolve against the repository tree;
+// standard-library imports resolve through go/importer's source
+// importer, which type-checks from $GOROOT/src. This keeps the analyzer
+// test harness and coolpim-vet's standalone mode free of external
+// dependencies; under `go vet -vettool` the toolchain supplies export
+// data instead and this package is not involved.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages by import path with shared caches. It is not
+// safe for concurrent use.
+type Loader struct {
+	Fset    *token.FileSet
+	modRoot string
+	modPath string
+	goVer   string
+	overlay map[string]string // import path -> source dir
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+	// IncludeTests controls whether _test.go files of the package itself
+	// are parsed (external _test packages are never loaded).
+	IncludeTests bool
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+var goLine = regexp.MustCompile(`(?m)^go\s+(\S+)`)
+
+// NewLoader returns a loader rooted at the module containing dir
+// (searching upward for go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("load: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleLine.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("load: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		modRoot: root,
+		modPath: string(m[1]),
+		overlay: make(map[string]string),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	if g := goLine.FindSubmatch(data); g != nil {
+		l.goVer = "go" + string(g[1])
+	}
+	return l, nil
+}
+
+// ModRoot returns the module root directory.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+// ModPath returns the module path.
+func (l *Loader) ModPath() string { return l.modPath }
+
+// Overlay maps an import path to a source directory, overriding normal
+// resolution. Analyzer tests use this to load testdata packages under
+// fake module-internal paths, so path-scoped analyzers treat them as
+// simulation code.
+func (l *Loader) Overlay(importPath, dir string) {
+	l.overlay[importPath] = dir
+}
+
+// Load parses and type-checks the package at importPath.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %q", importPath)
+	}
+	dir, ok := l.overlay[importPath]
+	if !ok {
+		if importPath == l.modPath {
+			dir = l.modRoot
+		} else if rest, found := strings.CutPrefix(importPath, l.modPath+"/"); found {
+			dir = filepath.Join(l.modRoot, filepath.FromSlash(rest))
+		} else {
+			return nil, fmt.Errorf("load: %q is not a module or overlay package", importPath)
+		}
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: (*loaderImporter)(l), GoVersion: l.goVer}
+	tpkg, err := cfg.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// parseDir parses the non-test (plus, if IncludeTests, in-package test)
+// files of dir in sorted filename order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	var fileNames []string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		fileNames = append(fileNames, name)
+	}
+	// Keep only the dominant package: the one named by the non-test
+	// files. External _test packages in the same directory are skipped.
+	pkgName := ""
+	for i, f := range parsed {
+		if !strings.HasSuffix(fileNames[i], "_test.go") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	var files []*ast.File
+	for _, f := range parsed {
+		if pkgName == "" || f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+// loaderImporter adapts Loader to types.Importer, routing module and
+// overlay paths to source loading and everything else to the standard
+// library's source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if _, ok := l.overlay[path]; ok || path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

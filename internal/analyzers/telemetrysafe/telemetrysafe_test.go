@@ -1,0 +1,27 @@
+package telemetrysafe_test
+
+import (
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/analysistest"
+	"coolpim/internal/analyzers/telemetrysafe"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{telemetrysafe.Analyzer}
+}
+
+// TestGuards checks the in-package rule: instrument methods must open
+// with a nil-receiver guard. The testdata loads under the telemetry
+// import path.
+func TestGuards(t *testing.T) {
+	analysistest.Run(t, "guards", "coolpim/internal/telemetry", suite(), analyzers.Names())
+}
+
+// TestCallSites checks the call-site rule against the real telemetry
+// package: allocation-bearing arguments outside an enabled-check.
+func TestCallSites(t *testing.T) {
+	analysistest.Run(t, "callsites", "coolpim/internal/callsites", suite(), analyzers.Names())
+}

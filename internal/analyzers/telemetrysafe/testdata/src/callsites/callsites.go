@@ -1,0 +1,29 @@
+// Package callsites is analyzer testdata for telemetrysafe's call-site
+// rule: arguments to instrument methods are evaluated before the
+// callee's nil guard, so they must not allocate unless an enclosing
+// check proved telemetry enabled.
+package callsites
+
+import (
+	"fmt"
+
+	"coolpim/internal/telemetry"
+	"coolpim/internal/units"
+)
+
+func emit(tr *telemetry.Tracer, at units.Time, vault int, name string) {
+	tr.Emit(at, telemetry.EvPhase, fmt.Sprintf(`"vault":%d`, vault)) // want `fmt.Sprintf call is evaluated before Tracer.Emit`
+	tr.Emit(at, telemetry.EvPhase, `"vault":3`)                      // ok: constant payload
+	tr.Emit(at, telemetry.EvPhase, `"name":`+name)                   // want `non-constant string concatenation`
+	tr.Emit(at, telemetry.EvPhase, `"a":`+`1`)                       // ok: folded at compile time
+
+	if tr != nil {
+		tr.Emit(at, telemetry.EvPhase, fmt.Sprintf(`"vault":%d`, vault)) // ok: behind an explicit nil guard
+	}
+}
+
+func hub(h *telemetry.Telemetry, at units.Time, v int) {
+	if h.Enabled() {
+		h.Tracer.Emit(at, telemetry.EvPhase, fmt.Sprintf(`"v":%d`, v)) // ok: behind an Enabled() guard
+	}
+}

@@ -1,0 +1,48 @@
+// Package telemetry is analyzer testdata loaded under the import path
+// coolpim/internal/telemetry: exported pointer-receiver methods on
+// instrument types must open with a nil-receiver guard so that a nil
+// instrument is the disabled state.
+package telemetry
+
+// Tracer mimics an instrument type (the name is what matters).
+type Tracer struct{ n int }
+
+// Emit is guarded: ok.
+func (t *Tracer) Emit(msg string) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// EmitIf is guarded with a compound short-circuit condition: ok.
+func (t *Tracer) EmitIf(cond bool, msg string) {
+	if t == nil || !cond {
+		return
+	}
+	t.n++
+}
+
+func (t *Tracer) Record(msg string) { // want `exported Tracer.Record must begin with`
+	t.n++
+}
+
+// Enabled is the predicate shape, dereferencing nothing: ok.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// emit is unexported and runs post-guard: ok.
+func (t *Tracer) emit(msg string) { t.n++ }
+
+// Len guards via reversed operands: ok.
+func (t *Tracer) Len() int {
+	if nil == t {
+		return 0
+	}
+	return t.n
+}
+
+// Registry is registration-time plumbing, exempt by design: ok.
+type Registry struct{ names map[string]bool }
+
+// Claim may assume a live registry.
+func (r *Registry) Claim(name string) { r.names[name] = true }

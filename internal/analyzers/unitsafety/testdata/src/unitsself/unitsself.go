@@ -1,0 +1,8 @@
+// Package units is analyzer testdata loaded under the import path
+// coolpim/internal/units: the units package itself defines the
+// representations and is exempt from every unitsafety rule.
+package units
+
+type Time int64
+
+func scale(t Time) Time { return t * t } // ok: exempt inside the units package

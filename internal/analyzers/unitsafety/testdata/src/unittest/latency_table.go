@@ -1,0 +1,10 @@
+package unittest
+
+// Files whose name contains "table" transcribe the paper's parameter
+// tables (Table II energies, Table IV derating phases) and are exempt
+// from the bare-constant rule — a constructor on every cell would bury
+// the data.
+func tableInit() {
+	delay(42) // ok: table-literal file exemption
+	heat(105) // ok: table-literal file exemption
+}

@@ -1,0 +1,44 @@
+// Package unittest is analyzer testdata for unitsafety: bare constants
+// flowing into unit-typed parameters, dimension-destroying arithmetic
+// and floating-point unit equality.
+package unittest
+
+import "coolpim/internal/units"
+
+func delay(d units.Time)      {}
+func heat(c units.Celsius)    {}
+func delays(ds ...units.Time) {}
+func plain(n int, x float64)  {}
+
+const timestep = 5 * units.Microsecond
+
+func calls() {
+	delay(5)                     // want `bare constant 5 converts implicitly to units.Time`
+	delay(2 * units.Millisecond) // ok: dimension written at the call site
+	delay(units.Time(7))         // ok: explicit conversion
+	delay(timestep)              // ok: named constant documents the dimension
+	delay(0)                     // ok: zero is unit-free
+	delay(-3)                    // want `bare constant -3 converts implicitly to units.Time`
+	heat(85.5)                   // want `bare constant 85.5 converts implicitly to units.Celsius`
+	delays(3, units.Second)      // want `bare constant 3 converts implicitly to units.Time`
+	plain(7, 2.5)                // ok: parameters are plain numbers
+}
+
+func arithmetic(a, b units.Time, c units.Celsius, w units.Watt) {
+	_ = a * b                   // want `product of two dimensioned quantities \(units.Time × units.Time\)`
+	_ = 2 * a                   // ok: dimensionless scaling
+	_ = a + b                   // ok: same-unit sum
+	_ = float64(c) + float64(w) // want `float64 conversions mix units.Celsius and units.Watt`
+	_ = float64(a) + float64(b) // ok: same unit on both sides
+	_ = float64(c) + 1.5        // ok: only one unit involved
+}
+
+func compare(c, limit units.Celsius, t1, t2 units.Time) bool {
+	if c == limit { // want `exact == comparison of floating-point units.Celsius`
+		return true
+	}
+	if c != 85 { // want `exact != comparison of floating-point units.Celsius`
+		return false
+	}
+	return c >= limit || t1 == t2 // ok: ordered comparison; Time is integral picoseconds
+}

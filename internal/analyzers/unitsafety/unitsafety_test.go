@@ -1,0 +1,22 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/analysistest"
+	"coolpim/internal/analyzers/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "unittest", "coolpim/internal/unittest",
+		[]*analysis.Analyzer{unitsafety.Analyzer}, analyzers.Names())
+}
+
+// TestUnitsPackageExempt proves internal/units itself may manipulate raw
+// representations: the same constructs produce no diagnostics there.
+func TestUnitsPackageExempt(t *testing.T) {
+	analysistest.Run(t, "unitsself", "coolpim/internal/units",
+		[]*analysis.Analyzer{unitsafety.Analyzer}, analyzers.Names())
+}

@@ -158,6 +158,7 @@ func RunMatrix(p Profile, workloads []string, policies []core.PolicyKind, parall
 	var wg sync.WaitGroup
 	for i := 0; i < parallel; i++ {
 		wg.Add(1)
+		//coolpim:allow determinism harness-level fan-out: each worker owns a whole engine; no simulation state is shared between runs
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
@@ -171,6 +172,7 @@ func RunMatrix(p Profile, workloads []string, policies []core.PolicyKind, parall
 			}
 		}()
 	}
+	//coolpim:allow determinism harness-level feeder goroutine; results are reassembled into deterministic (workload, policy) matrix order below
 	go func() {
 		for _, wl := range workloads {
 			for _, pol := range policies {

@@ -383,8 +383,8 @@ func (w *warpState) advance(now units.Time) {
 	switch op.Kind {
 	case simt.OpCompute:
 		g.stats.ComputeOps++
-		g.stats.ComputeBusy += units.Time(op.Cycles) * g.cycle
-		g.eng.At(issueAt+units.Time(op.Cycles)*g.cycle, w.advance)
+		g.stats.ComputeBusy += g.cycle.Times(op.Cycles)
+		g.eng.At(issueAt+g.cycle.Times(op.Cycles), w.advance)
 	case simt.OpLoad:
 		g.stats.LoadOps++
 		w.execLoad(op, issueAt)

@@ -132,6 +132,13 @@ func LDBCLikeParams() RMATParams {
 // approximately edgeFactor × 2^scale edges (duplicates are removed), a
 // deterministic function of seed.
 func GenRMAT(scale, edgeFactor int, p RMATParams, seed int64) *Graph {
+	return GenRMATRand(scale, edgeFactor, p, rand.New(rand.NewSource(seed)))
+}
+
+// GenRMATRand is GenRMAT threading an explicitly seeded generator, for
+// callers that compose several graphs (or graphs plus workload inputs)
+// from one reproducible stream.
+func GenRMATRand(scale, edgeFactor int, p RMATParams, rng *rand.Rand) *Graph {
 	if scale < 1 || scale > 30 {
 		panic(fmt.Sprintf("graph: scale %d out of range", scale))
 	}
@@ -143,7 +150,6 @@ func GenRMAT(scale, edgeFactor int, p RMATParams, seed int64) *Graph {
 	}
 	numV := 1 << scale
 	target := edgeFactor * numV
-	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[uint64]bool, target)
 	inDeg := make([]int, numV)
 	src := make([]uint32, 0, target)
@@ -200,6 +206,11 @@ func GenRMAT(scale, edgeFactor int, p RMATParams, seed int64) *Graph {
 // GenUniform generates a directed Erdős–Rényi-style graph with numV
 // vertices and numE distinct random edges.
 func GenUniform(numV, numE int, seed int64) *Graph {
+	return GenUniformRand(numV, numE, rand.New(rand.NewSource(seed)))
+}
+
+// GenUniformRand is GenUniform threading an explicitly seeded generator.
+func GenUniformRand(numV, numE int, rng *rand.Rand) *Graph {
 	if numV < 2 {
 		panic("graph: need at least 2 vertices")
 	}
@@ -207,7 +218,6 @@ func GenUniform(numV, numE int, seed int64) *Graph {
 	if numE > maxE/2 {
 		panic(fmt.Sprintf("graph: %d edges too dense for %d vertices", numE, numV))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[uint64]bool, numE)
 	src := make([]uint32, 0, numE)
 	dst := make([]uint32, 0, numE)

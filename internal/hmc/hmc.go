@@ -112,7 +112,7 @@ type serializer struct {
 // returning the completion time.
 func (s *serializer) book(now units.Time, n int) units.Time {
 	start := max(now, s.busyUntil)
-	s.busyUntil = start + units.Time(n)*s.flitTime
+	s.busyUntil = start + s.flitTime.Times(n)
 	return s.busyUntil
 }
 

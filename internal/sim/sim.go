@@ -85,8 +85,8 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
-// past panics: it always indicates a component bug, and silently
-// reordering time would destroy causality.
+// past panics with *PastScheduleError: it always indicates a component
+// bug, and silently reordering time would destroy causality.
 //
 // The event inherits the component label of the event currently
 // executing (if any), so a component that seeds its chains with AtNamed
@@ -104,9 +104,22 @@ func (e *Engine) AtNamed(t units.Time, label string, fn Event) {
 	e.atID(t, e.intern(label), fn)
 }
 
+// PastScheduleError is the panic value raised when an event is
+// scheduled before the engine's current time. It is a distinct type so
+// harnesses that intentionally probe the causality check can
+// `recover()` and assert on it without string matching.
+type PastScheduleError struct {
+	At  units.Time // requested event time
+	Now units.Time // engine time when the request was made
+}
+
+func (e *PastScheduleError) Error() string {
+	return fmt.Sprintf("sim: scheduling event at %v before now %v", e.At, e.Now)
+}
+
 func (e *Engine) atID(t units.Time, label uint16, fn Event) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		panic(&PastScheduleError{At: t, Now: e.now})
 	}
 	e.seq++
 	heap.Push(&e.queue, item{at: t, seq: e.seq, label: label, fn: fn})
@@ -172,7 +185,7 @@ func (e *Engine) AfterNamed(d units.Time, label string, fn Event) {
 
 func (e *Engine) afterID(d units.Time, label uint16, fn Event) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panic(&PastScheduleError{At: e.now + d, Now: e.now})
 	}
 	e.atID(e.now+d, label, fn)
 }
@@ -223,8 +236,9 @@ func (e *Engine) step(limit units.Time) bool {
 	e.nSteps++
 	e.curLabel = it.label
 	if e.obs != nil {
-		start := time.Now()
+		start := time.Now() //coolpim:allow determinism Observer profiling only; wall time never feeds back into simulated state
 		it.fn(e.now)
+		//coolpim:allow determinism Observer profiling only; wall time never feeds back into simulated state
 		e.obs.EventExecuted(e.labelName(it.label), it.at, time.Since(start).Nanoseconds())
 	} else {
 		it.fn(e.now)

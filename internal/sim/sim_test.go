@@ -66,8 +66,19 @@ func TestSchedulingInPastPanics(t *testing.T) {
 	e.At(100, func(units.Time) {})
 	e.Run()
 	defer func() {
-		if recover() == nil {
-			t.Error("scheduling in the past did not panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+		pse, ok := r.(*PastScheduleError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *PastScheduleError", r)
+		}
+		if pse.At != 50 || pse.Now != 100 {
+			t.Errorf("PastScheduleError{At: %v, Now: %v}, want {50, 100}", pse.At, pse.Now)
+		}
+		if pse.Error() == "" {
+			t.Error("PastScheduleError.Error() is empty")
 		}
 	}()
 	e.At(50, func(units.Time) {})
@@ -76,8 +87,12 @@ func TestSchedulingInPastPanics(t *testing.T) {
 func TestNegativeDelayPanics(t *testing.T) {
 	e := New()
 	defer func() {
-		if recover() == nil {
-			t.Error("negative delay did not panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("negative delay did not panic")
+		}
+		if _, ok := r.(*PastScheduleError); !ok {
+			t.Fatalf("panic value is %T, want *PastScheduleError", r)
 		}
 	}()
 	e.After(-1, func(units.Time) {})

@@ -149,7 +149,7 @@ func (r *Result) Speedup(base *Result) float64 {
 
 // NormalizedBW returns r's average bandwidth over base's (Fig. 11).
 func (r *Result) NormalizedBW(base *Result) float64 {
-	if base.AvgExtBW == 0 {
+	if base.AvgExtBW <= 0 {
 		return 0
 	}
 	return float64(r.AvgExtBW) / float64(base.AvgExtBW)

@@ -57,7 +57,13 @@ func New() *Telemetry {
 func (t *Telemetry) Enabled() bool { return t != nil }
 
 // Profile returns the engine profile observer, for sim.Engine.SetObserver.
-func (t *Telemetry) Profile() *EngineProfile { return t.profile }
+// A disabled (nil) hub has no profile.
+func (t *Telemetry) Profile() *EngineProfile {
+	if t == nil {
+		return nil
+	}
+	return t.profile
+}
 
 // EngineProfile aggregates engine-level profiling per component label:
 // how many events each component executed and how much wall-clock time
@@ -78,6 +84,9 @@ func NewEngineProfile() *EngineProfile {
 
 // EventExecuted records one executed engine event (sim.Observer).
 func (p *EngineProfile) EventExecuted(label string, _ units.Time, wallNs int64) {
+	if p == nil {
+		return
+	}
 	if label == "" {
 		label = "(unlabeled)"
 	}
@@ -99,6 +108,9 @@ type LabelStat struct {
 
 // Stats returns the profile rows sorted by descending wall time.
 func (p *EngineProfile) Stats() []LabelStat {
+	if p == nil {
+		return nil
+	}
 	out := make([]LabelStat, 0, len(p.byLabel))
 	for l, s := range p.byLabel {
 		out = append(out, LabelStat{Label: l, Events: s.events, WallNs: s.wallNs})

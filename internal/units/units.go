@@ -46,6 +46,12 @@ func (t Time) String() string {
 	}
 }
 
+// Times returns n periods of t: the duration of n back-to-back cycles,
+// FLITs or other fixed-cost items. It exists so call sites never
+// multiply two Time values directly (count × period reads as Time ×
+// Time to the type system, which the unitsafety analyzer rejects).
+func (t Time) Times(n int) Time { return t * Time(n) }
+
 // FromSeconds converts seconds to simulated Time, rounding to the
 // nearest picosecond.
 func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
