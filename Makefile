@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint race bench clean
+.PHONY: all build test vet lint race bench bench-json bench-smoke clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -38,9 +38,29 @@ race:
 # benchmark; the paper-figure benchmarks report their headline quantity
 # as a custom metric).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$(BENCH_DATE).json
-	@echo "wrote BENCH_$(BENCH_DATE).json"
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_full_$(BENCH_DATE).json
+	@echo "wrote BENCH_full_$(BENCH_DATE).json"
+
+# The performance trajectory: bench-json regenerates the committed
+# BENCH_<n>.json snapshots (event-engine ns/op + allocs/op, cube
+# read/PIM throughput, one full-system run's wall time). Each PR that
+# claims a speedup commits the next numbered snapshot; benchstat-style
+# comparison against the previous one is the review artifact.
+BENCH_NEXT := $(shell n=$$(ls BENCH_[0-9]*.json 2>/dev/null | wc -l); echo $$((n+1)))
+BENCH_SUBSTRATE := ^(BenchmarkEventEngine|BenchmarkCubeReadThroughput|BenchmarkCubePIMThroughput)$$
+
+bench-json:
+	@( $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem . && \
+	   $(GO) test -run '^$$' -bench '^BenchmarkFig10Speedup$$/^dc$$/^Naive-Offloading$$' -benchtime 3x . \
+	 ) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_NEXT).json
+
+# bench-smoke is the CI guard: a fixed, tiny iteration count over the
+# substrate micro-benches so they cannot silently stop compiling or
+# start failing, piped through benchjson to keep the tooling honest.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)|^(BenchmarkThermalTransientStep|BenchmarkDRAMBankSchedule|BenchmarkCacheAccess|BenchmarkPowerModel)$$' \
+		-benchtime 100x -benchmem . | $(GO) run ./cmd/benchjson
 
 clean:
-	rm -f BENCH_*.json trace.jsonl metrics.prom series.csv
+	rm -f BENCH_full_*.json trace.jsonl metrics.prom series.csv
 	rm -rf bin

@@ -1,0 +1,132 @@
+// benchjson converts `go test -bench` text output into the repo's
+// machine-readable benchmark snapshot format (BENCH_<n>.json): one
+// record per benchmark with its iteration count and every reported
+// metric (ns/op, B/op, allocs/op, MB/s and custom b.ReportMetric
+// units). `make bench-json` pipes the performance-trajectory benches
+// through it and commits the result, so every future PR can be
+// benchstat-ed against the committed baselines.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson [-out FILE]
+//
+// Multiple concatenated `go test` outputs may be piped in; header
+// lines (goos/goarch/pkg/cpu) are folded into the snapshot metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the Benchmark prefix and the
+	// trailing -<GOMAXPROCS> suffix stripped: "EventEngine",
+	// "Fig10Speedup/dc/Naive-Offloading".
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole BENCH_<n>.json document.
+type Snapshot struct {
+	Schema     int               `json:"schema"`
+	Meta       map[string]string `json:"meta"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{Schema: 1, Meta: map[string]string{}}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok ") ||
+			strings.HasPrefix(line, "testing:") || strings.HasPrefix(line, "--- "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Meta[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkEventEngine-8   9371869   123.4 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -<GOMAXPROCS> suffix from the last path element only.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count: %w", err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd value/unit tail %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric %s: %w", rest[i+1], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

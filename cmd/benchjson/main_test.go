@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: coolpim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventEngine-8   	 9371869	       123.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCubeReadThroughput 	 2677753	       453.3 ns/op	 141.20 MB/s	     184 B/op	       4 allocs/op
+BenchmarkFig10Speedup/dc/Naive-Offloading-8         	       3	 201048483 ns/op
+PASS
+ok  	coolpim	10.431s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu meta = %q", snap.Meta["cpu"])
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	ee := snap.Benchmarks[0]
+	if ee.Name != "EventEngine" || ee.Iterations != 9371869 {
+		t.Errorf("first bench = %+v", ee)
+	}
+	if ee.Metrics["ns/op"] != 123.4 || ee.Metrics["allocs/op"] != 0 {
+		t.Errorf("EventEngine metrics = %v", ee.Metrics)
+	}
+	cube := snap.Benchmarks[1]
+	if cube.Name != "CubeReadThroughput" || cube.Metrics["MB/s"] != 141.20 {
+		t.Errorf("cube bench = %+v", cube)
+	}
+	fig := snap.Benchmarks[2]
+	if fig.Name != "Fig10Speedup/dc/Naive-Offloading" {
+		t.Errorf("sub-bench name = %q (GOMAXPROCS suffix must strip, workload dashes must stay)", fig.Name)
+	}
+	if fig.Metrics["ns/op"] != 201048483 {
+		t.Errorf("sub-bench metrics = %v", fig.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12 34", // dangling value without unit
+		"BenchmarkX notanumber 1 ns/op",
+	} {
+		if _, err := parse(bufio.NewScanner(strings.NewReader(bad))); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", bad)
+		}
+	}
+}

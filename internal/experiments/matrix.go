@@ -84,15 +84,27 @@ func TestProfile() Profile {
 	return p
 }
 
-// Graph generates (and caches) the profile's input graph.
+// Graph generates (and caches) the profile's input graph. Generation
+// runs outside the cache lock — campaign-scale RMAT takes seconds, and
+// parallel RunMatrix workers on distinct profiles must not serialize on
+// it — with a double-checked insertion so every caller of the same
+// profile still shares one canonical *graph.Graph instance.
 func (p Profile) Graph() *graph.Graph {
-	graphCache.Lock()
-	defer graphCache.Unlock()
 	key := fmt.Sprintf("%d/%d/%d", p.Scale, p.EdgeFactor, p.Seed)
-	if g, ok := graphCache.m[key]; ok {
+	graphCache.Lock()
+	g, ok := graphCache.m[key]
+	graphCache.Unlock()
+	if ok {
 		return g
 	}
-	g := graph.GenRMAT(p.Scale, p.EdgeFactor, graph.LDBCLikeParams(), p.Seed)
+	g = graph.GenRMAT(p.Scale, p.EdgeFactor, graph.LDBCLikeParams(), p.Seed)
+	graphCache.Lock()
+	defer graphCache.Unlock()
+	if cached, ok := graphCache.m[key]; ok {
+		// Another worker generated the same graph concurrently; keep the
+		// first-inserted instance as the canonical one.
+		return cached
+	}
 	graphCache.m[key] = g
 	return g
 }
@@ -239,18 +251,36 @@ func GeoMean(rows []Row, f func(Row) float64) float64 {
 // thermal threshold, so the committed results use sssp-twc, which shows
 // the paper's dynamics (see EXPERIMENTS.md).
 func Fig14Series(p Profile, workload string) (map[core.PolicyKind][]system.Sample, error) {
-	out := make(map[core.PolicyKind][]system.Sample)
+	pols := []core.PolicyKind{core.NaiveOffloading, core.CoolPIMSW, core.CoolPIMHW}
 	g := p.Graph()
-	for _, pol := range []core.PolicyKind{core.NaiveOffloading, core.CoolPIMSW, core.CoolPIMHW} {
-		w, err := kernels.NewSized(workload, p.Reps)
-		if err != nil {
-			return nil, err
+	series := make([][]system.Sample, len(pols))
+	errs := make([]error, len(pols))
+	var wg sync.WaitGroup
+	for i, pol := range pols {
+		wg.Add(1)
+		//coolpim:allow determinism harness-level fan-out, same pattern as RunMatrix: each policy run owns a whole engine; per-policy series are reassembled in fixed policy order below, independent of completion order
+		go func(i int, pol core.PolicyKind) {
+			defer wg.Done()
+			w, err := kernels.NewSized(workload, p.Reps)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := system.RunWorkload(w, pol, p.Sys, g)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			series[i] = res.Series
+		}(i, pol)
+	}
+	wg.Wait()
+	out := make(map[core.PolicyKind][]system.Sample, len(pols))
+	for i, pol := range pols {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		res, err := system.RunWorkload(w, pol, p.Sys, g)
-		if err != nil {
-			return nil, err
-		}
-		out[pol] = res.Series
+		out[pol] = series[i]
 	}
 	return out, nil
 }

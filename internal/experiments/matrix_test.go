@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"coolpim/internal/core"
+	"coolpim/internal/kernels"
+	"coolpim/internal/system"
+)
+
+// TestGraphConcurrentSingleInstance hammers Profile.Graph from many
+// goroutines (as parallel RunMatrix workers do) and checks every caller
+// gets the same canonical instance even though generation now happens
+// outside the cache lock.
+func TestGraphConcurrentSingleInstance(t *testing.T) {
+	p := TestProfile()
+	p.Seed = 12345 // do not collide with graphs other tests already cached
+	const workers = 8
+	results := make([]any, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		//coolpim:allow determinism test-only concurrency probe of the graph cache; no simulation state involved
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.Graph()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a different graph instance than worker 0", i)
+		}
+	}
+}
+
+// TestFig14SeriesMatchesSerialRuns pins the parallelized Fig14Series:
+// each policy's series must be identical to a serial RunWorkload of the
+// same (workload, policy) pair.
+func TestFig14SeriesMatchesSerialRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system comparison run")
+	}
+	p := TestProfile()
+	const workload = "dc"
+	got, err := Fig14Series(p, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	for _, pol := range []core.PolicyKind{core.NaiveOffloading, core.CoolPIMSW, core.CoolPIMHW} {
+		w, err := kernels.NewSized(workload, p.Reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := system.RunWorkload(w, pol, p.Sys, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Series
+		series, ok := got[pol]
+		if !ok {
+			t.Fatalf("Fig14Series missing policy %v", pol)
+		}
+		if len(series) != len(want) {
+			t.Fatalf("%v: parallel series has %d samples, serial %d", pol, len(series), len(want))
+		}
+		for i := range series {
+			if series[i] != want[i] {
+				t.Fatalf("%v: sample %d differs: parallel %+v, serial %+v", pol, i, series[i], want[i])
+			}
+		}
+	}
+}

@@ -319,7 +319,8 @@ func (g *GPU) startBlock(smID int) {
 		})
 		warpSlot := slot*g.warpsPerBlock() + w
 		wp := &warpState{gpu: g, block: b, run: run, slot: warpSlot}
-		g.eng.AfterLabel(0, g.label, func(now units.Time) { wp.advance(now) })
+		wp.advanceEv = wp.advance
+		g.eng.AfterLabel(0, g.label, wp.advanceEv)
 	}
 }
 
@@ -348,6 +349,10 @@ type warpState struct {
 	block *blockState
 	run   *simt.WarpRun
 	slot  int // warp slot within the SM (the PCU index)
+	// advanceEv is w.advance bound once at warp start: the engine's
+	// hot-path schedules reuse it instead of minting a fresh method
+	// value (one closure allocation) per scheduled op.
+	advanceEv sim.Event
 
 	// Outstanding async (software-pipelined) load, if any. The op buffer
 	// is shared and gets reused by subsequent ops, so the addresses are
@@ -384,7 +389,7 @@ func (w *warpState) advance(now units.Time) {
 	case simt.OpCompute:
 		g.stats.ComputeOps++
 		g.stats.ComputeBusy += g.cycle.Times(op.Cycles)
-		g.eng.At(issueAt+g.cycle.Times(op.Cycles), w.advance)
+		g.eng.At(issueAt+g.cycle.Times(op.Cycles), w.advanceEv)
 	case simt.OpLoad:
 		g.stats.LoadOps++
 		w.execLoad(op, issueAt)
@@ -466,7 +471,7 @@ func (w *warpState) execLoadAsync(op *simt.Op, issueAt units.Time) {
 		g.lineAccess(w.block.sm, line, false, issueAt, finish)
 	}
 	// The warp continues after the issue slot.
-	g.eng.At(issueAt+g.cycle, w.advance)
+	g.eng.At(issueAt+g.cycle, w.advanceEv)
 }
 
 func (w *warpState) execWait(op *simt.Op, issueAt units.Time) {
@@ -512,7 +517,7 @@ func (w *warpState) execStore(op *simt.Op, issueAt units.Time) {
 	}
 	// Stores retire without blocking on the response, but credit flow
 	// control can delay acceptance.
-	g.eng.At(retire, w.advance)
+	g.eng.At(retire, w.advanceEv)
 }
 
 // execAtomic handles a warp atomic: each active lane either offloads as
@@ -569,7 +574,7 @@ func (w *warpState) execPIMAtomic(op *simt.Op, issueAt units.Time) {
 		// Fire and forget: the warp continues once the link-layer
 		// credits clear (natural backpressure under congestion).
 		g.stats.AtomicStall += retire - issueAt
-		g.eng.At(retire, w.advance)
+		g.eng.At(retire, w.advanceEv)
 		return
 	}
 
@@ -705,7 +710,7 @@ func (w *warpState) execHostAtomic(op *simt.Op, issueAt units.Time) {
 	}
 	if posted || len(lines) == 0 {
 		g.stats.AtomicStall += retire - issueAt
-		g.eng.At(retire, w.advance)
+		g.eng.At(retire, w.advanceEv)
 	}
 }
 

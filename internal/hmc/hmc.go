@@ -363,7 +363,7 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 		case dram.PIMAccess:
 			c.counters.PIMLatencySum += deliver - submitAt
 		}
-		c.eng.At(deliver, func(at2 units.Time) {
+		c.eng.AtLabel(deliver, c.label, func(at2 units.Time) {
 			if c.warning && !c.DisableThermalEffects {
 				resp.ErrStat = flit.ErrThermalWarning
 			}

@@ -1,0 +1,205 @@
+package sim
+
+import "coolpim/internal/units"
+
+// eventQueue is the engine's pending-event priority queue, specialized
+// for the scheduling mix of this simulator. The generic
+// container/heap version it replaces boxed every item into an
+// interface on both Push and Pop — one heap allocation plus GC
+// pressure per scheduled event, millions of times per run.
+//
+// Structure: a 4-ary min-heap over a flat []item (no interface
+// boxing; the wider node fans out fewer, more cache-friendly levels
+// than a binary heap for the queue depths the GPU+HMC models reach),
+// fronted by two FIFO "lanes". Components overwhelmingly schedule
+// bursts at a shared timestamp — completions at `now`, issue slots at
+// the next cycle edge — so each lane captures one such timestamp and
+// turns those pushes and pops into O(1) appends with no sifting.
+//
+// Determinism: execution order is (at, seq) lexicographic, identical
+// to the reference heap (TestQueueMatchesReferenceHeap replays
+// randomized schedules through both). The argument: every queued item
+// lives in exactly one of {cur lane, next lane, heap}; a lane's items
+// share one timestamp and are appended with strictly increasing seq,
+// so its front is that sub-structure's (at, seq) minimum, as is the
+// heap's root; pop takes the minimum of the three fronts.
+type eventQueue struct {
+	cur  lane
+	next lane
+	heap []item
+	n    int
+}
+
+// itemLess is the total order every event executes in: time first,
+// insertion sequence as the deterministic tie-break.
+func itemLess(a, b item) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// lane is a FIFO of queued events sharing a single timestamp.
+type lane struct {
+	at    units.Time
+	items []item
+	head  int
+}
+
+func (l *lane) empty() bool { return l.head == len(l.items) }
+
+func (l *lane) push(it item) { l.items = append(l.items, it) }
+
+func (l *lane) pop() item {
+	it := l.items[l.head]
+	l.items[l.head] = item{} // release the closure for GC
+	l.head++
+	if l.head == len(l.items) {
+		// Drained: recycle the slice (capacity retained) and free the
+		// lane to claim the next burst timestamp.
+		l.items = l.items[:0]
+		l.head = 0
+	}
+	return it
+}
+
+func (q *eventQueue) len() int { return q.n }
+
+// push enqueues it. An empty lane claims the item's timestamp; later
+// pushes at a claimed timestamp join that lane; everything else goes
+// to the heap.
+func (q *eventQueue) push(it item) {
+	q.n++
+	switch {
+	case !q.cur.empty() && it.at == q.cur.at:
+		q.cur.push(it)
+	case !q.next.empty() && it.at == q.next.at:
+		q.next.push(it)
+	case q.cur.empty():
+		q.cur.at = it.at
+		q.cur.push(it)
+	case q.next.empty():
+		q.next.at = it.at
+		q.next.push(it)
+	default:
+		q.heapPush(it)
+	}
+}
+
+// minAt returns the earliest queued timestamp. Precondition: len > 0.
+func (q *eventQueue) minAt() units.Time {
+	has := false
+	var at units.Time
+	if !q.cur.empty() {
+		at, has = q.cur.at, true
+	}
+	if !q.next.empty() && (!has || q.next.at < at) {
+		at, has = q.next.at, true
+	}
+	if len(q.heap) > 0 && (!has || q.heap[0].at < at) {
+		at = q.heap[0].at
+	}
+	return at
+}
+
+// pop removes and returns the (at, seq)-minimum event. Precondition:
+// len > 0.
+func (q *eventQueue) pop() item {
+	q.n--
+	// Select the sub-structure whose front is the global minimum.
+	src := -1
+	var at units.Time
+	var seq uint64
+	if !q.cur.empty() {
+		src, at, seq = 0, q.cur.at, q.cur.items[q.cur.head].seq
+	}
+	if !q.next.empty() {
+		if s := q.next.items[q.next.head].seq; src < 0 || q.next.at < at || (q.next.at == at && s < seq) {
+			src, at, seq = 1, q.next.at, s
+		}
+	}
+	if len(q.heap) > 0 {
+		if h := &q.heap[0]; src < 0 || h.at < at || (h.at == at && h.seq < seq) {
+			src = 2
+		}
+	}
+	switch src {
+	case 0:
+		return q.cur.pop()
+	case 1:
+		return q.next.pop()
+	default:
+		return q.heapPop()
+	}
+}
+
+// reserve grows the backing storage so roughly n events queue without
+// reallocation. Existing contents are preserved.
+func (q *eventQueue) reserve(n int) {
+	if cap(q.heap) < n {
+		h := make([]item, len(q.heap), n)
+		copy(h, q.heap)
+		q.heap = h
+	}
+	laneCap := n / 4
+	if laneCap < 16 {
+		laneCap = 16
+	}
+	for _, l := range [2]*lane{&q.cur, &q.next} {
+		if cap(l.items) < laneCap {
+			items := make([]item, len(l.items), laneCap)
+			copy(items, l.items)
+			l.items = items
+		}
+	}
+}
+
+// heapPush inserts into the 4-ary heap with an inlined sift-up.
+func (q *eventQueue) heapPush(it item) {
+	h := append(q.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !itemLess(it, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+	q.heap = h
+}
+
+// heapPop removes the heap root with an inlined sift-down.
+func (q *eventQueue) heapPop() item {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	it := h[n]
+	h[n] = item{} // release the closure for GC
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if itemLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !itemLess(h[m], it) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if n > 0 {
+		h[i] = it
+	}
+	q.heap = h
+	return top
+}

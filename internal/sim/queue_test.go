@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"coolpim/internal/units"
+)
+
+// ---- Reference implementation ----
+
+// refItem / refHeap are a straight container/heap priority queue with
+// the engine's (at, seq) order — the implementation the specialized
+// queue replaced. The differential tests replay identical schedules
+// through both and demand identical execution order.
+type refItem struct {
+	at  units.Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() (p any) { old := *h; n := len(old); p = old[n-1]; *h = old[:n-1]; return }
+func (h refHeap) peek() refItem { return h[0] }
+func (h refHeap) empty() bool   { return len(h) == 0 }
+
+// refEngine executes a schedule with the reference heap.
+type refEngine struct {
+	now  units.Time
+	seq  uint64
+	h    refHeap
+	exec []int
+}
+
+func (r *refEngine) at(t units.Time, id int) {
+	r.seq++
+	heap.Push(&r.h, refItem{at: t, seq: r.seq, id: id})
+}
+
+// ---- Differential property test ----
+
+// schedStep describes one scheduling decision of a randomized trace:
+// while executing event `parent`, schedule `children` new events at
+// the given deltas from the current time. Delta 0 exercises the
+// same-timestamp lane; small deltas exercise the near-future lane
+// claim; large ones the heap.
+type schedStep struct {
+	deltas []units.Time
+}
+
+// genTrace builds a deterministic random schedule: an initial batch of
+// events (with deliberate timestamp collisions) plus per-event
+// follow-on scheduling decisions.
+func genTrace(rng *rand.Rand, initial, maxEvents int) (roots []units.Time, steps []schedStep) {
+	for i := 0; i < initial; i++ {
+		// Int63n(40) forces plenty of exact ties across the batch.
+		roots = append(roots, units.Time(rng.Int63n(40)))
+	}
+	for i := 0; i < maxEvents; i++ {
+		var s schedStep
+		n := rng.Intn(4) // 0..3 children
+		if i >= maxEvents-initial {
+			n = 0 // stop expanding near the cap so both runs terminate
+		}
+		for c := 0; c < n; c++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.deltas = append(s.deltas, 0) // same-cycle
+			case 1:
+				s.deltas = append(s.deltas, units.Time(1+rng.Int63n(3))) // next-cycle-ish
+			default:
+				s.deltas = append(s.deltas, units.Time(rng.Int63n(500)))
+			}
+		}
+		steps = append(steps, s)
+	}
+	return roots, steps
+}
+
+// TestQueueMatchesReferenceHeap replays randomized schedules — with
+// timestamp ties and events scheduling further events at now, now+ε
+// and far future — through the specialized queue (via the real Engine)
+// and the reference container/heap, asserting identical execution
+// order event by event.
+func TestQueueMatchesReferenceHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		initial := 1 + rng.Intn(30)
+		maxEvents := initial + rng.Intn(400)
+		roots, steps := genTrace(rng, initial, maxEvents)
+
+		// Reference execution: ids are assigned in scheduling order, so
+		// both executions assign identical ids to identical events.
+		ref := &refEngine{}
+		nextID := 0
+		for _, at := range roots {
+			ref.at(at, nextID)
+			nextID++
+		}
+		for !ref.h.empty() {
+			it := heap.Pop(&ref.h).(refItem)
+			ref.now = it.at
+			ref.exec = append(ref.exec, it.id)
+			if it.id < len(steps) {
+				for _, d := range steps[it.id].deltas {
+					ref.at(ref.now+d, nextID)
+					nextID++
+				}
+			}
+		}
+
+		// Engine execution over the same trace.
+		e := New()
+		var got []int
+		id := 0
+		var schedule func(at units.Time)
+		schedule = func(at units.Time) {
+			myID := id
+			id++
+			e.At(at, func(now units.Time) {
+				got = append(got, myID)
+				if myID < len(steps) {
+					for _, d := range steps[myID].deltas {
+						schedule(now + d)
+					}
+				}
+			})
+		}
+		for _, at := range roots {
+			schedule(at)
+		}
+		e.Run()
+
+		if len(got) != len(ref.exec) {
+			t.Fatalf("trial %d: engine ran %d events, reference %d", trial, len(got), len(ref.exec))
+		}
+		for i := range got {
+			if got[i] != ref.exec[i] {
+				t.Fatalf("trial %d: divergence at step %d: engine ran %d, reference %d\nengine:    %v\nreference: %v",
+					trial, i, got[i], ref.exec[i], got, ref.exec)
+			}
+		}
+	}
+}
+
+// ---- Allocation guarantees ----
+
+// TestSteadyStateZeroAllocs pins the tentpole property: once the queue
+// slices are warm, After + step (including a live pooled Every ticker)
+// allocate nothing.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	e := New()
+	e.Reserve(256)
+	nop := func(units.Time) {}
+	e.Every(10, func(units.Time) bool { return true })
+	var i int64
+	work := func() {
+		i++
+		e.After(units.Time(i%64), nop)
+		e.After(0, nop)
+		e.RunUntil(e.Now() + 7)
+	}
+	for w := 0; w < 2000; w++ { // warm lane/heap capacity to steady state
+		work()
+	}
+	if avg := testing.AllocsPerRun(1000, work); avg != 0 {
+		t.Fatalf("steady-state After+step allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestEveryTickerPooled verifies the pooled ticker path reuses ticker
+// objects: a stopped periodic task's ticker serves the next Every, and
+// steady-state ticking allocates nothing.
+func TestEveryTickerPooled(t *testing.T) {
+	e := New()
+	e.Every(5, func(now units.Time) bool { return now < 20 })
+	e.Run()
+	if len(e.tickers) != 1 {
+		t.Fatalf("stopped ticker not returned to pool (pool size %d)", len(e.tickers))
+	}
+	e.Every(3, func(now units.Time) bool { return now < 40 })
+	if len(e.tickers) != 0 {
+		t.Fatalf("new Every did not reuse the pooled ticker (pool size %d)", len(e.tickers))
+	}
+	e.Run()
+
+	// Steady-state ticking is allocation-free.
+	e2 := New()
+	e2.Reserve(64)
+	e2.Every(1, func(units.Time) bool { return true })
+	e2.RunUntil(100)
+	if avg := testing.AllocsPerRun(500, func() { e2.RunUntil(e2.Now() + 10) }); avg != 0 {
+		t.Fatalf("steady-state Every ticking allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// ---- Engine edge cases under the lane/heap queue ----
+
+// TestNextEventTimePendingMidRun probes the introspection API from
+// inside an executing event, with pending work split across the
+// same-timestamp lane and the heap.
+func TestNextEventTimePendingMidRun(t *testing.T) {
+	e := New()
+	checked := false
+	e.At(10, func(now units.Time) {
+		e.After(0, func(units.Time) {}) // same-cycle lane
+		e.After(0, func(units.Time) {})
+		e.At(500, func(units.Time) {}) // far future
+		if got := e.Pending(); got != 4 {
+			t.Errorf("Pending() mid-run = %d, want 4 (2 lane + 1 heap + 1 pre-scheduled)", got)
+		}
+		if at, ok := e.NextEventTime(); !ok || at != 10 {
+			t.Errorf("NextEventTime() mid-run = %v,%v want 10,true", at, ok)
+		}
+		checked = true
+	})
+	e.At(20, func(units.Time) {})
+	e.Run()
+	if !checked {
+		t.Fatal("probe event never ran")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() after drain = %d, want 0", e.Pending())
+	}
+}
+
+// TestHaltWithBucketedEventsPending halts mid-burst: the remaining
+// same-timestamp lane events and heap events stay queued and counted.
+func TestHaltWithBucketedEventsPending(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 0; i < 6; i++ {
+		e.At(10, func(units.Time) {
+			ran++
+			if ran == 2 {
+				e.Halt()
+			}
+		})
+	}
+	e.At(30, func(units.Time) { ran++ })
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran %d events after Halt at 2", ran)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending() after halt = %d, want 5 (4 lane + 1 heap)", e.Pending())
+	}
+	if at, ok := e.NextEventTime(); !ok || at != 10 {
+		t.Errorf("NextEventTime() after halt = %v,%v want 10,true", at, ok)
+	}
+}
+
+// TestRunUntilInsideBucketLane runs the clock to a limit that lands
+// between two claimed lane timestamps, and to a limit exactly on one.
+func TestRunUntilInsideBucketLane(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	rec := func(now units.Time) { fired = append(fired, now) }
+	for i := 0; i < 3; i++ {
+		e.At(10, rec)
+		e.At(20, rec)
+	}
+	e.RunUntil(15)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(15) fired %d events, want the 3 at t=10", len(fired))
+	}
+	if e.Now() != 15 || e.Pending() != 3 {
+		t.Errorf("after RunUntil(15): now=%v pending=%d, want 15/3", e.Now(), e.Pending())
+	}
+	// Scheduling more work at a drained-then-passed timestamp must fail,
+	// and at the still-pending lane timestamp must join in seq order.
+	last := false
+	e.At(20, func(units.Time) { last = true })
+	e.RunUntil(20) // limit exactly on the lane timestamp
+	if len(fired) != 6 || !last {
+		t.Errorf("RunUntil(20) fired %d events (last=%v), want all 6 + late join", len(fired), last)
+	}
+	if e.Now() != 20 {
+		t.Errorf("now = %v, want 20", e.Now())
+	}
+}
+
+// TestPastScheduleErrorAllEntryPoints asserts the causality panic is
+// raised, as *PastScheduleError, from every scheduling entry point.
+func TestPastScheduleErrorAllEntryPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(e *Engine)
+	}{
+		{"At", func(e *Engine) { e.At(50, nil) }},
+		{"AtNamed", func(e *Engine) { e.AtNamed(50, "x", nil) }},
+		{"AtLabel", func(e *Engine) { e.AtLabel(50, e.Label("x"), nil) }},
+		{"After", func(e *Engine) { e.After(-1, nil) }},
+		{"AfterNamed", func(e *Engine) { e.AfterNamed(-1, "x", nil) }},
+		{"AfterLabel", func(e *Engine) { e.AfterLabel(-1, e.Label("x"), nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			e.At(100, func(units.Time) {})
+			e.Run()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s did not panic on past schedule", tc.name)
+				}
+				if _, ok := r.(*PastScheduleError); !ok {
+					t.Fatalf("%s panic value is %T, want *PastScheduleError", tc.name, r)
+				}
+			}()
+			tc.call(e)
+		})
+	}
+}
+
+// TestEveryLabelInheritanceAcrossPool pins label attribution through
+// the pooled ticker path: a stopped ticker's label must not leak into
+// the Every that reuses its struct, and ticks keep inheriting to the
+// events they schedule.
+func TestEveryLabelInheritanceAcrossPool(t *testing.T) {
+	e := New()
+	obs := &recordingObserver{}
+	e.SetObserver(obs)
+	e.EveryNamed(10, "first", func(now units.Time) bool { return now < 20 })
+	e.Run()
+	// Second ticker reuses the pooled struct; its ticks must carry the
+	// new label, and an event scheduled from inside a tick inherits it.
+	spawned := false
+	e.EveryNamed(10, "second", func(now units.Time) bool {
+		if !spawned {
+			spawned = true
+			e.After(1, func(units.Time) {}) // inherits "second" through the tick
+		}
+		return now < 60
+	})
+	e.RunUntil(45)
+	// First ticker: ticks at 10, 20. Second: ticks at 30, 40, plus the
+	// inherited one-off at 31.
+	want := []string{"first", "first", "second", "second", "second"}
+	if len(obs.labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", obs.labels, want)
+	}
+	for i, w := range want {
+		if obs.labels[i] != w {
+			t.Errorf("event %d label = %q, want %q (%v)", i, obs.labels[i], w, obs.labels)
+		}
+	}
+}
+
+// TestReserveKeepsContents grows capacity under load and checks no
+// queued event is lost or reordered.
+func TestReserveKeepsContents(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(units.Time(10-i), func(units.Time) { got = append(got, i) })
+	}
+	e.Reserve(1024)
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("ran %d events, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != 9-i {
+			t.Fatalf("order after Reserve = %v, want descending ids", got)
+		}
+	}
+}
+
+// TestLaneReclaim exercises lane claim/drain/reclaim across many
+// distinct timestamps so both lanes and the heap keep trading events.
+func TestLaneReclaim(t *testing.T) {
+	e := New()
+	var order []units.Time
+	rec := func(now units.Time) { order = append(order, now) }
+	// Three interleaved timestamp streams defeat a two-lane capture.
+	for i := 0; i < 20; i++ {
+		base := units.Time(i * 10)
+		e.At(base+5, rec)
+		e.At(base+7, rec)
+		e.At(base+9, rec)
+	}
+	e.Run()
+	if len(order) != 60 {
+		t.Fatalf("ran %d events, want 60", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("time went backwards at %d: %v", i, order)
+		}
+	}
+}

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -36,32 +35,13 @@ type item struct {
 	fn    Event
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
-}
-
 // Engine is a discrete-event simulation engine. The zero value is ready
 // to use. Engines are not safe for concurrent use; the simulation is
 // single-threaded and deterministic by design.
 type Engine struct {
 	now    units.Time
 	seq    uint64
-	queue  eventHeap
+	queue  eventQueue
 	nSteps uint64
 	halted bool
 	obs    Observer
@@ -70,7 +50,14 @@ type Engine struct {
 	curLabel uint16 // label id of the currently executing event
 	labels   []string
 	labelIDs map[string]uint16
+	// tickers is the free list of the pooled Every path (see everyID).
+	tickers []*ticker
 }
+
+// Reserve pre-sizes the event queue so roughly n events can be pending
+// without growing the backing slices — a capacity hint for harnesses
+// that know their steady-state queue depth. It never shrinks.
+func (e *Engine) Reserve(n int) { e.queue.reserve(n) }
 
 // New returns an empty engine at time zero.
 func New() *Engine { return &Engine{} }
@@ -122,7 +109,7 @@ func (e *Engine) atID(t units.Time, label uint16, fn Event) {
 		panic(&PastScheduleError{At: t, Now: e.now})
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: t, seq: e.seq, label: label, fn: fn})
+	e.queue.push(item{at: t, seq: e.seq, label: label, fn: fn})
 }
 
 // intern maps a label to its stable small id, allocating one on first
@@ -201,18 +188,51 @@ func (e *Engine) EveryNamed(period units.Time, label string, fn func(now units.T
 	e.everyID(period, e.intern(label), fn)
 }
 
+// ticker is the reusable state behind one Every registration. The
+// bound tick Event is created once per ticker object and the objects
+// themselves are pooled on the engine, so a ticker that stops and a new
+// periodic task that starts reuse both the struct and its Event — the
+// periodic thermal/sampler paths stop allocating a schedule per period.
+type ticker struct {
+	e      *Engine
+	period units.Time
+	label  uint16
+	fn     func(now units.Time) bool
+	ev     Event // t.tick bound once; reused for every reschedule
+}
+
+func (t *ticker) tick(now units.Time) {
+	if !t.fn(now) {
+		t.e.releaseTicker(t)
+		return
+	}
+	t.e.atID(now+t.period, t.label, t.ev)
+}
+
+func (e *Engine) acquireTicker() *ticker {
+	if n := len(e.tickers); n > 0 {
+		t := e.tickers[n-1]
+		e.tickers[n-1] = nil
+		e.tickers = e.tickers[:n-1]
+		return t
+	}
+	t := &ticker{e: e}
+	t.ev = t.tick
+	return t
+}
+
+func (e *Engine) releaseTicker(t *ticker) {
+	t.fn = nil // release the callback for GC
+	e.tickers = append(e.tickers, t)
+}
+
 func (e *Engine) everyID(period units.Time, label uint16, fn func(now units.Time) bool) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
-	var tick Event
-	tick = func(now units.Time) {
-		if !fn(now) {
-			return
-		}
-		e.atID(now+period, label, tick)
-	}
-	e.atID(e.now+period, label, tick)
+	t := e.acquireTicker()
+	t.period, t.label, t.fn = period, label, fn
+	e.atID(e.now+period, label, t.ev)
 }
 
 // Halt stops the engine: Run and RunUntil return after the current event
@@ -225,13 +245,13 @@ func (e *Engine) Halted() bool { return e.halted }
 // step executes the next event. It reports false when the queue is empty
 // or the engine is halted.
 func (e *Engine) step(limit units.Time) bool {
-	if e.halted || len(e.queue) == 0 {
+	if e.halted || e.queue.len() == 0 {
 		return false
 	}
-	if e.queue[0].at > limit {
+	if e.queue.minAt() > limit {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	e.now = it.at
 	e.nSteps++
 	e.curLabel = it.label
@@ -268,13 +288,13 @@ func (e *Engine) RunUntil(t units.Time) units.Time {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // NextEventTime returns the timestamp of the earliest queued event and
 // whether one exists.
 func (e *Engine) NextEventTime() (units.Time, bool) {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return 0, false
 	}
-	return e.queue[0].at, true
+	return e.queue.minAt(), true
 }

@@ -167,6 +167,10 @@ func Run(workloadName string, policy core.PolicyKind, cfg Config, g *graph.Graph
 // RunWorkload is Run for an already-constructed workload.
 func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *graph.Graph) (*Result, error) {
 	eng := sim.New()
+	// Steady-state queue depth is bounded by resident warps (each with at
+	// most a couple of in-flight events) plus the HMC's in-flight
+	// completions; pre-size once so the hot loop never regrows the queue.
+	eng.Reserve(2 * cfg.GPU.NumSMs * cfg.GPU.MaxWarpsPerSM)
 	space := kernels.SpaceFor(g)
 
 	tel := cfg.Telemetry
