@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint race bench bench-json bench-smoke clean
+.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -48,9 +48,12 @@ bench:
 # comparison against the previous one is the review artifact.
 BENCH_NEXT := $(shell n=$$(ls BENCH_[0-9]*.json 2>/dev/null | wc -l); echo $$((n+1)))
 BENCH_SUBSTRATE := ^(BenchmarkEventEngine|BenchmarkCubeReadThroughput|BenchmarkCubePIMThroughput)$$
+BENCH_THERMAL := ^(BenchmarkThermalStep|BenchmarkSolveSteady)$$
 
 bench-json:
 	@( $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem . && \
+	   $(GO) test -run '^$$' -bench '$(BENCH_THERMAL)' -benchmem . && \
+	   $(GO) test -run '^$$' -bench '^BenchmarkApplyPowerTick$$' -benchmem ./internal/system && \
 	   $(GO) test -run '^$$' -bench '^BenchmarkFig10Speedup$$/^dc$$/^Naive-Offloading$$' -benchtime 3x . \
 	 ) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_NEXT).json
 
@@ -58,8 +61,19 @@ bench-json:
 # substrate micro-benches so they cannot silently stop compiling or
 # start failing, piped through benchjson to keep the tooling honest.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)|^(BenchmarkThermalTransientStep|BenchmarkDRAMBankSchedule|BenchmarkCacheAccess|BenchmarkPowerModel)$$' \
-		-benchtime 100x -benchmem . | $(GO) run ./cmd/benchjson
+	( $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)|$(BENCH_THERMAL)|^(BenchmarkDRAMBankSchedule|BenchmarkCacheAccess|BenchmarkPowerModel)$$' \
+		-benchtime 100x -benchmem . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkApplyPowerTick$$' -benchtime 100x -benchmem ./internal/system \
+	) | $(GO) run ./cmd/benchjson
+
+# figs-check regenerates the committed closed-loop time series with the
+# paper profile and fails on any byte difference — the guard that keeps
+# results_fig14.txt in lockstep with the simulator (and, since the
+# stencil kernel is pinned bit-identical to the reference model, with
+# the thermal arithmetic itself).
+figs-check:
+	$(GO) run ./cmd/figures -exp fig14 -profile paper | diff -u results_fig14.txt - \
+		&& echo "results_fig14.txt up to date"
 
 clean:
 	rm -f BENCH_full_*.json trace.jsonl metrics.prom series.csv

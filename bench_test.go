@@ -63,7 +63,10 @@ func BenchmarkTable3InstructionMapping(b *testing.B) {
 func BenchmarkFig1PrototypeThermal(b *testing.B) {
 	var last units.Celsius
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Fig1()
+		pts, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
 		last = pts[len(pts)-1].Die
 	}
 	b.ReportMetric(float64(last), "peakC")
@@ -72,7 +75,11 @@ func BenchmarkFig1PrototypeThermal(b *testing.B) {
 func BenchmarkFig2ModelValidation(b *testing.B) {
 	var diff float64
 	for i := 0; i < b.N; i++ {
-		for _, r := range experiments.Fig2() {
+		rows, err := experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
 			d := float64(r.DieModeled - r.DieEstimated)
 			if d < 0 {
 				d = -d
@@ -86,7 +93,11 @@ func BenchmarkFig2ModelValidation(b *testing.B) {
 func BenchmarkFig3HeatMap(b *testing.B) {
 	var peak units.Celsius
 	for i := 0; i < b.N; i++ {
-		peak = experiments.Fig3().LayerPeaks[1]
+		res, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.LayerPeaks[1]
 	}
 	b.ReportMetric(float64(peak), "peakDRAMC")
 }
@@ -94,7 +105,11 @@ func BenchmarkFig3HeatMap(b *testing.B) {
 func BenchmarkFig4BandwidthSweep(b *testing.B) {
 	var pts []experiments.Fig4Point
 	for i := 0; i < b.N; i++ {
-		pts = experiments.Fig4(9)
+		var err error
+		pts, err = experiments.Fig4(9)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(pts[len(pts)-1].PeakDRAM), "highEnd320C")
 }
@@ -102,7 +117,11 @@ func BenchmarkFig4BandwidthSweep(b *testing.B) {
 func BenchmarkFig5PIMRateSweep(b *testing.B) {
 	var thr units.OpsPerNs
 	for i := 0; i < b.N; i++ {
-		thr = experiments.MaxSafePIMRate()
+		var err error
+		thr, err = experiments.MaxSafePIMRate()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(thr), "safeOpPerNs")
 }
@@ -273,26 +292,39 @@ func BenchmarkCubePIMThroughput(b *testing.B) {
 	eng.Run()
 }
 
-func BenchmarkThermalTransientStep(b *testing.B) {
+// BenchmarkThermalStep measures one paper-profile thermal tick (10 µs of
+// simulated time ≈ 12 Euler substeps over the 289-node HMC 2.0 network)
+// on a warm model — the stencil kernel's closed-loop hot path.
+func BenchmarkThermalStep(b *testing.B) {
 	m := thermal.New(thermal.HMC20Stack(), thermal.CommodityServer)
 	m.AddLayerPower(0, 20)
 	for l := 1; l <= 8; l++ {
 		m.AddLayerPower(l, 1.3)
 	}
+	m.Step(10 * units.Microsecond) // warm the substep-schedule cache
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(10 * units.Microsecond)
 	}
 }
 
-func BenchmarkThermalSteadySolve(b *testing.B) {
+// BenchmarkSolveSteady measures a full Gauss-Seidel relaxation from
+// ambient under the calibration power budget (model construction is
+// setup, not solving).
+func BenchmarkSolveSteady(b *testing.B) {
+	m := thermal.New(thermal.HMC20Stack(), thermal.CommodityServer)
+	m.AddLayerPower(0, 20.66)
+	for l := 1; l <= 8; l++ {
+		m.AddLayerPower(l, 10.47/8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := thermal.New(thermal.HMC20Stack(), thermal.CommodityServer)
-		m.AddLayerPower(0, 20.66)
-		for l := 1; l <= 8; l++ {
-			m.AddLayerPower(l, 10.47/8)
+		m.Reset()
+		if m.SolveSteady() < 0 {
+			b.Fatal("steady solve did not converge")
 		}
-		m.SolveSteady()
 	}
 }
 

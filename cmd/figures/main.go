@@ -82,15 +82,15 @@ func main() {
 		case "table4":
 			printTable4(prof)
 		case "fig1":
-			printFig1()
+			check(printFig1())
 		case "fig2":
-			printFig2()
+			check(printFig2())
 		case "fig3":
-			printFig3()
+			check(printFig3())
 		case "fig4":
-			printFig4()
+			check(printFig4())
 		case "fig5":
-			printFig5()
+			check(printFig5())
 		case "fig10":
 			printFig10(rows)
 		case "fig11":
@@ -171,10 +171,23 @@ func printTable4(prof experiments.Profile) {
 	fmt.Println()
 }
 
-func printFig1() {
+// check aborts on an analytic-sweep failure (a non-converged steady
+// solve) instead of printing a half-relaxed figure.
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func printFig1() error {
 	fmt.Println("## Fig. 1 — HMC 1.1 prototype thermal evaluation (surface temperatures)")
 	fmt.Printf("%-28s %-6s %-14s %-12s %-18s %s\n", "Cooling", "State", "Model surface", "Model die", "Paper surface", "Shutdown?")
-	for _, p := range experiments.Fig1() {
+	pts, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
 		state := "idle"
 		if p.Busy {
 			state = "busy"
@@ -188,22 +201,31 @@ func printFig1() {
 			experiments.FmtCelsius(p.Die), experiments.FmtCelsius(p.PaperSurface), shut)
 	}
 	fmt.Println()
+	return nil
 }
 
-func printFig2() {
+func printFig2() error {
 	fmt.Println("## Fig. 2 — thermal model validation (busy HMC 1.1)")
 	fmt.Printf("%-28s %-18s %-16s %s\n", "Cooling", "Surface (measured)", "Die (estimated)", "Die (modeled)")
-	for _, r := range experiments.Fig2() {
+	rows, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
 		fmt.Printf("%-28s %-18s %-16s %s\n", r.Cooling,
 			experiments.FmtCelsius(r.SurfaceMeasured),
 			experiments.FmtCelsius(r.DieEstimated),
 			experiments.FmtCelsius(r.DieModeled))
 	}
 	fmt.Println()
+	return nil
 }
 
-func printFig3() {
-	res := experiments.Fig3()
+func printFig3() error {
+	res, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
 	fmt.Println("## Fig. 3 — heat map at full bandwidth, commodity-server cooling")
 	fmt.Println("Per-layer peaks (bottom to top):")
 	for l, p := range res.LayerPeaks {
@@ -221,11 +243,15 @@ func printFig3() {
 		fmt.Println()
 	}
 	fmt.Println()
+	return nil
 }
 
-func printFig4() {
+func printFig4() error {
 	fmt.Println("## Fig. 4 — peak DRAM temperature vs data bandwidth")
-	pts := experiments.Fig4(9)
+	pts, err := experiments.Fig4(9)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-14s", "BW (GB/s)")
 	headers := []string{"Passive", "Low-end", "Commodity", "High-end"}
 	for _, h := range headers {
@@ -260,15 +286,25 @@ func printFig4() {
 	}
 	fmt.Println("(X) = beyond the 105°C operating limit (thermal shutdown)")
 	fmt.Println()
+	return nil
 }
 
-func printFig5() {
+func printFig5() error {
 	fmt.Println("## Fig. 5 — thermal impact of PIM offloading (full BW, commodity cooling)")
 	fmt.Printf("%-14s %-10s %s\n", "PIM (op/ns)", "Peak DRAM", "Phase")
-	for _, p := range experiments.Fig5(14) {
+	pts, err := experiments.Fig5(14)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
 		fmt.Printf("%-14.1f %-10s %v\n", float64(p.PIMRate), experiments.FmtCelsius(p.PeakDRAM), p.Phase)
 	}
-	fmt.Printf("max safe rate (<=85°C): %v (paper: 1.3 op/ns)\n\n", experiments.MaxSafePIMRate())
+	thr, err := experiments.MaxSafePIMRate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max safe rate (<=85°C): %v (paper: 1.3 op/ns)\n\n", thr)
+	return nil
 }
 
 func matrixHeader() []core.PolicyKind {

@@ -59,7 +59,11 @@ func main() {
 			for l := 1; l <= thermal.HMC11Stack().DRAMDies; l++ {
 				m.AddLayerPower(l, per)
 			}
-			m.SolveSteady()
+			if m.SolveSteady() < 0 {
+				fmt.Fprintf(os.Stderr, "hmcprobe: steady solve did not converge (%s, %.1f GB/s)\n",
+					cool.Name, bw.GBps())
+				os.Exit(1)
+			}
 			state := "ok"
 			switch {
 			case m.Peak() > 94:

@@ -31,7 +31,9 @@ func solve(cool thermal.Cooling, bw units.BytesPerSecond, rate units.OpsPerNs) u
 	for l := 1; l <= stack.DRAMDies; l++ {
 		m.AddLayerPower(l, per)
 	}
-	m.SolveSteady()
+	if m.SolveSteady() < 0 {
+		log.Fatalf("steady solve did not converge (%s, %v, %v op/ns)", cool.Name, bw, rate)
+	}
 	return m.PeakDRAM()
 }
 

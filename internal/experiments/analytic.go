@@ -16,16 +16,20 @@ import (
 )
 
 // steadyPeak builds a stack model, injects the budget and returns the
-// steady-state temperatures.
-func steadyPeak(stack thermal.StackConfig, cooling thermal.Cooling, b power.Budget) *thermal.Model {
+// steady-state temperatures. A non-converged solve is an error: a
+// half-relaxed field would silently skew every figure derived from it.
+func steadyPeak(stack thermal.StackConfig, cooling thermal.Cooling, b power.Budget) (*thermal.Model, error) {
 	m := thermal.New(stack, cooling)
 	m.AddLayerPower(0, b.LogicDie())
 	per := b.DRAMStack() / units.Watt(float64(stack.DRAMDies))
 	for l := 1; l <= stack.DRAMDies; l++ {
 		m.AddLayerPower(l, per)
 	}
-	m.SolveSteady()
-	return m
+	if m.SolveSteady() < 0 {
+		return nil, fmt.Errorf("steady solve did not converge: %s under %s at %.1f W",
+			stack.Name, cooling.Name, float64(b.Total()))
+	}
+	return m, nil
 }
 
 // Table1Row is one row of Table I.
@@ -108,11 +112,14 @@ func hmc11Budget(busy bool) power.Budget {
 }
 
 // Fig1 reproduces the prototype study: idle/busy × three heat sinks.
-func Fig1() []Fig1Point {
+func Fig1() ([]Fig1Point, error) {
 	var pts []Fig1Point
 	for _, c := range []thermal.Cooling{thermal.Passive, thermal.LowEndActive, thermal.HighEndActive} {
 		for _, busy := range []bool{false, true} {
-			m := steadyPeak(thermal.HMC11Stack(), c, hmc11Budget(busy))
+			m, err := steadyPeak(thermal.HMC11Stack(), c, hmc11Budget(busy))
+			if err != nil {
+				return nil, err
+			}
 			pts = append(pts, Fig1Point{
 				Cooling:      c.Name,
 				Busy:         busy,
@@ -123,7 +130,7 @@ func Fig1() []Fig1Point {
 			})
 		}
 	}
-	return pts
+	return pts, nil
 }
 
 // Fig2Row is one validation bar group of Fig. 2: surface (measured), die
@@ -138,11 +145,14 @@ type Fig2Row struct {
 // Fig2 validates the thermal model against the HMC 1.1 measurements the
 // way the paper does: compare the modeled die temperature with the die
 // temperature estimated from the measured surface temperature.
-func Fig2() []Fig2Row {
+func Fig2() ([]Fig2Row, error) {
 	var rows []Fig2Row
 	for _, c := range []thermal.Cooling{thermal.LowEndActive, thermal.HighEndActive} {
 		b := hmc11Budget(true)
-		m := steadyPeak(thermal.HMC11Stack(), c, b)
+		m, err := steadyPeak(thermal.HMC11Stack(), c, b)
+		if err != nil {
+			return nil, err
+		}
 		meas := fig1Measured[c.Name][true]
 		rows = append(rows, Fig2Row{
 			Cooling:         c.Name,
@@ -152,7 +162,7 @@ func Fig2() []Fig2Row {
 			DieModeled: m.Peak(),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // Fig3Result is the Fig. 3 heat map: per-layer peak temperatures and the
@@ -163,14 +173,17 @@ type Fig3Result struct {
 }
 
 // Fig3 reproduces the full-bandwidth commodity-cooling heat map.
-func Fig3() Fig3Result {
+func Fig3() (Fig3Result, error) {
 	b := power.HMC20().Compute(power.FullBandwidth())
-	m := steadyPeak(thermal.HMC20Stack(), thermal.CommodityServer, b)
+	m, err := steadyPeak(thermal.HMC20Stack(), thermal.CommodityServer, b)
+	if err != nil {
+		return Fig3Result{}, err
+	}
 	res := Fig3Result{LogicMap: m.LayerMap(0)}
 	for l := 0; l < thermal.HMC20Stack().Layers(); l++ {
 		res.LayerPeaks = append(res.LayerPeaks, m.LayerPeak(l))
 	}
-	return res
+	return res, nil
 }
 
 // Fig4Point is one point of the Fig. 4 sweep.
@@ -183,7 +196,7 @@ type Fig4Point struct {
 
 // Fig4 sweeps peak DRAM temperature across data bandwidth (0-320 GB/s)
 // for all four cooling solutions.
-func Fig4(steps int) []Fig4Point {
+func Fig4(steps int) ([]Fig4Point, error) {
 	if steps < 2 {
 		steps = 9
 	}
@@ -192,7 +205,10 @@ func Fig4(steps int) []Fig4Point {
 		for i := 0; i < steps; i++ {
 			bw := units.GBps(320 * float64(i) / float64(steps-1))
 			b := power.HMC20().Compute(power.Activity{ExternalBW: bw, InternalRegularBW: bw})
-			m := steadyPeak(thermal.HMC20Stack(), c, b)
+			m, err := steadyPeak(thermal.HMC20Stack(), c, b)
+			if err != nil {
+				return nil, err
+			}
 			pts = append(pts, Fig4Point{
 				Cooling:   c.Name,
 				Bandwidth: bw,
@@ -201,7 +217,7 @@ func Fig4(steps int) []Fig4Point {
 			})
 		}
 	}
-	return pts
+	return pts, nil
 }
 
 // Fig5Point is one point of the Fig. 5 sweep.
@@ -214,7 +230,7 @@ type Fig5Point struct {
 // Fig5 sweeps peak DRAM temperature across PIM offloading rate at full
 // bandwidth under commodity cooling (0-6.5 op/ns, the thermally-limited
 // maximum).
-func Fig5(steps int) []Fig5Point {
+func Fig5(steps int) ([]Fig5Point, error) {
 	if steps < 2 {
 		steps = 14
 	}
@@ -224,24 +240,30 @@ func Fig5(steps int) []Fig5Point {
 		act := power.FullBandwidth()
 		act.PIMRate = rate
 		b := power.HMC20().Compute(act)
-		m := steadyPeak(thermal.HMC20Stack(), thermal.CommodityServer, b)
+		m, err := steadyPeak(thermal.HMC20Stack(), thermal.CommodityServer, b)
+		if err != nil {
+			return nil, err
+		}
 		pts = append(pts, Fig5Point{rate, m.PeakDRAM(), dram.PhaseForTemp(m.PeakDRAM())})
 	}
-	return pts
+	return pts, nil
 }
 
 // MaxSafePIMRate returns the largest swept PIM rate whose steady peak
 // stays within the normal operating range — the paper's ~1.3 op/ns
 // threshold that CoolPIM's TargetPIMRate is set from.
-func MaxSafePIMRate() units.OpsPerNs {
-	pts := Fig5(66) // 0.1 op/ns resolution
+func MaxSafePIMRate() (units.OpsPerNs, error) {
+	pts, err := Fig5(66) // 0.1 op/ns resolution
+	if err != nil {
+		return 0, err
+	}
 	best := units.OpsPerNs(0)
 	for _, p := range pts {
 		if p.PeakDRAM <= dram.NormalLimit && p.PIMRate > best {
 			best = p.PIMRate
 		}
 	}
-	return best
+	return best, nil
 }
 
 // FmtCelsius renders a temperature for table output.

@@ -47,7 +47,10 @@ func TestTable3Complete(t *testing.T) {
 // TestFig1Shape pins the prototype study's qualitative findings:
 // passive-busy shuts down; better sinks are cooler; busy beats idle.
 func TestFig1Shape(t *testing.T) {
-	pts := Fig1()
+	pts, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	byKey := map[string]Fig1Point{}
 	for _, p := range pts {
 		key := p.Cooling
@@ -84,7 +87,11 @@ func TestFig1Shape(t *testing.T) {
 // low-end sink (the paper's own validation criterion: "reasonable
 // error").
 func TestFig2Validation(t *testing.T) {
-	for _, r := range Fig2() {
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
 		diff := float64(r.DieModeled - r.DieEstimated)
 		if diff < 0 {
 			diff = -diff
@@ -101,7 +108,10 @@ func TestFig2Validation(t *testing.T) {
 // TestFig3Shape: the stack cools upward (logic and lowest DRAM die are
 // hottest) and the commodity full-BW peak sits near the paper's 81°C.
 func TestFig3Shape(t *testing.T) {
-	res := Fig3()
+	res, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.LayerPeaks) != 9 {
 		t.Fatalf("%d layers", len(res.LayerPeaks))
 	}
@@ -120,7 +130,10 @@ func TestFig3Shape(t *testing.T) {
 // ordered by cooling, commodity endpoint ~81°C, passive crossing
 // shutdown, high-end staying normal.
 func TestFig4Shape(t *testing.T) {
-	pts := Fig4(9)
+	pts, err := Fig4(9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byCooling := map[string][]Fig4Point{}
 	for _, p := range pts {
 		byCooling[p.Cooling] = append(byCooling[p.Cooling], p)
@@ -154,7 +167,10 @@ func TestFig4Shape(t *testing.T) {
 // TestFig5Shape pins the PIM-rate sweep: monotone, endpoint near 105 °C
 // at 6.5 op/ns, and a safe-rate threshold near the paper's 1.3 op/ns.
 func TestFig5Shape(t *testing.T) {
-	pts := Fig5(14)
+	pts, err := Fig5(14)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(pts); i++ {
 		if pts[i].PeakDRAM < pts[i-1].PeakDRAM {
 			t.Errorf("not monotone at %v", pts[i].PIMRate)
@@ -164,7 +180,11 @@ func TestFig5Shape(t *testing.T) {
 	if end < 100 || end > 108 {
 		t.Errorf("peak at 6.5 op/ns = %.1f, want ~105", end)
 	}
-	thr := float64(MaxSafePIMRate())
+	rate, err := MaxSafePIMRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := float64(rate)
 	if thr < 0.9 || thr > 1.8 {
 		t.Errorf("safe PIM rate = %.2f op/ns, want near 1.3", thr)
 	}

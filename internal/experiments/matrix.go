@@ -299,7 +299,7 @@ func SortedPolicies(r Row) []core.PolicyKind {
 // ThresholdRate is the safe offloading rate derived from the analytic
 // Fig. 5 sweep, exposed for comparison with the throttled rates of
 // Fig. 12.
-func ThresholdRate() units.OpsPerNs { return MaxSafePIMRate() }
+func ThresholdRate() (units.OpsPerNs, error) { return MaxSafePIMRate() }
 
 // ScaledConfig returns the evaluation platform with caches scaled to a
 // graph of the given RMAT scale, preserving the paper's

@@ -181,11 +181,21 @@ func (c *Cube) Counters() Counters { return c.counters }
 // traffic + PIM ops), used to spatially distribute power on the thermal
 // grid.
 func (c *Cube) VaultActivity() []float64 {
-	w := make([]float64, len(c.vaults))
-	for i, v := range c.vaults {
-		w[i] = float64(v.counters.InternalRegularBytes) + 32*float64(v.counters.PIMOps)
+	return c.VaultActivityInto(make([]float64, len(c.vaults)))
+}
+
+// VaultActivityInto fills dst with the per-vault activity weights and
+// returns it, so per-tick callers (the thermal coupling) can reuse one
+// scratch buffer instead of allocating every tick. dst must have
+// exactly one slot per vault.
+func (c *Cube) VaultActivityInto(dst []float64) []float64 {
+	if len(dst) != len(c.vaults) {
+		panic(fmt.Sprintf("hmc: activity buffer for %d vaults, cube has %d", len(dst), len(c.vaults)))
 	}
-	return w
+	for i, v := range c.vaults {
+		dst[i] = float64(v.counters.InternalRegularBytes) + 32*float64(v.counters.PIMOps)
+	}
+	return dst
 }
 
 // Phase returns the cube's current DRAM operating phase.

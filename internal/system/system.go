@@ -264,7 +264,7 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		}
 		return core.WarnNormal
 	}
-	var prevThermal hmc.Counters
+	coupler := newThermalCoupler(cube, model, cfg.Power, cfg.Stack)
 	finished := false
 	cube.OnShutdown = func(now units.Time) {
 		res.Shutdown = true
@@ -348,30 +348,7 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	}
 
 	applyPower := func(now units.Time, dt units.Time) {
-		ctr := cube.Counters()
-		d := deltaCounters(ctr, prevThermal)
-		prevThermal = ctr
-		act := activityFor(d, dt)
-		b := cfg.Power.Compute(act)
-		weights := vaultWeights(cube, cfg.Stack)
-		model.ClearPower()
-		model.AddLayerPower(0, b.StaticLogic)
-		if weights != nil {
-			model.AddLayerPowerWeighted(0, b.Logic+b.FU, weights)
-		} else {
-			model.AddLayerPower(0, b.Logic+b.FU)
-		}
-		for l := 1; l <= cfg.Stack.DRAMDies; l++ {
-			model.AddLayerPower(l, b.StaticDRAM/units.Watt(float64(cfg.Stack.DRAMDies)))
-			dyn := b.DRAM / units.Watt(float64(cfg.Stack.DRAMDies))
-			if weights != nil {
-				model.AddLayerPowerWeighted(l, dyn, weights)
-			} else {
-				model.AddLayerPower(l, dyn)
-			}
-		}
-		model.Step(dt)
-		temp := model.PeakDRAM()
+		temp := coupler.tick(dt)
 		if temp > res.PeakDRAM {
 			res.PeakDRAM = temp
 		}
@@ -500,21 +477,4 @@ func activityFor(d hmc.Counters, dt units.Time) power.Activity {
 		InternalRegularBW: units.BytesPerSecond(float64(d.InternalRegularBytes) / dt.Seconds()),
 		PIMRate:           units.OpsPerNs(float64(d.PIMOps) / dt.Nanoseconds()),
 	}
-}
-
-// vaultWeights maps per-vault activity onto the thermal grid when the
-// geometries line up (32 vaults ↔ 32 cells); otherwise nil (uniform).
-func vaultWeights(cube *hmc.Cube, stack thermal.StackConfig) []float64 {
-	w := cube.VaultActivity()
-	if len(w) != stack.Cells() {
-		return nil
-	}
-	total := 0.0
-	for _, x := range w {
-		total += x
-	}
-	if total == 0 {
-		return nil
-	}
-	return w
 }

@@ -8,6 +8,12 @@
 // forward-Euler transient integrator (for the closed-loop Fig. 14
 // dynamics) operate on the same network.
 //
+// The network is evaluated through a stencil operator precomputed in
+// New: per-node CSR neighbor/conductance arrays in a fixed accumulation
+// order, so the solvers are allocation-free and bit-identical to the
+// interpretive reference implementation in reference.go (see
+// DESIGN.md §6b and the differential tests).
+//
 // Geometry convention: layer 0 is the logic die at the bottom of the
 // stack; layers 1..DRAMDies are the DRAM dies, stacked upward toward the
 // heat sink. This matches the paper's observation that "the lowest DRAM
@@ -120,6 +126,29 @@ func (c StackConfig) Layers() int { return 1 + c.DRAMDies }
 // Cells returns the number of cells per layer.
 func (c StackConfig) Cells() int { return c.GridW * c.GridH }
 
+// stencilEdge is one precomputed conductive path out of a cell node.
+type stencilEdge struct {
+	g float64 // conductance, °C/W inverse; 0 for padding
+	j int32   // neighbor node (self for padding; nNodes = ambient slot)
+}
+
+// edgesPerCell is the fixed per-cell stencil width: the widest real
+// cell stencil is 7 (two vertical or vertical+spread, four lateral,
+// rim), padded to 8 so each node's edges span exactly two cache lines
+// and the flux walk needs no per-node trip count.
+const edgesPerCell = 8
+
+// stepPlan caches Step's substep schedule for one duration: nFull
+// substeps of maxStep followed by one substep of rem (rem == 0 means
+// none). The coupled system calls Step with the same ThermalTick tens
+// of thousands of times per run, so the schedule is computed once.
+type stepPlan struct {
+	d     units.Time
+	valid bool
+	nFull int
+	rem   float64
+}
+
 // Model is an instantiated RC network: a stack configuration plus a
 // cooling solution, holding the current node temperatures and power
 // injection. Create with New; the model starts in thermal equilibrium at
@@ -132,10 +161,16 @@ type Model struct {
 	nLayers int
 	nNodes  int // nLayers*nCells + 1 (sink)
 
-	temp  []float64 // °C per node; sink node last
-	power []float64 // W injected per node (sink gets none)
+	// temp and tnext are double-buffered temperature fields of length
+	// nNodes+1: the trailing slot holds the constant ambient
+	// temperature, which turns the rim and sink-to-ambient paths into
+	// ordinary stencil edges. eulerStep writes tnext and swaps the
+	// buffers; nothing ever writes the ambient slot.
+	temp  []float64 // °C per node; sink node at nNodes-1, ambient at nNodes
+	tnext []float64
+	power []float64 // W injected per node (sink gets none); length nNodes
 
-	// Precomputed conductances.
+	// Precomputed conductances (the stencil is built from these).
 	gVert   float64 // between vertically adjacent cells
 	gLat    float64 // between laterally adjacent cells
 	gSpread float64 // top-die cell -> sink node
@@ -144,9 +179,30 @@ type Model struct {
 
 	isEdge []bool // per cell
 
+	// Stencil operator: every cell node owns exactly edgesPerCell slots
+	// in edges (node i at edges[i*edgesPerCell:]); edge e contributes
+	// e.g*(t[e.j]-t[i]) to the node's net flux. Real edges are stored in
+	// the reference model's accumulation order — vertical down, vertical
+	// up or sink spread, lateral −x +x −y +y, rim — then padded to the
+	// fixed width with zero-conductance self-edges, so the per-node flux
+	// walk is branch-regular straight-line code and still bit-identical
+	// to the interpretive neighborFlux walk: a padding term is
+	// 0*(t[i]-t[i]) = +0.0, and no partial flux sum can be −0.0 (see
+	// DESIGN.md §6b). The sink node is not in edges; its flux (top-die
+	// cells in cell order, then ambient) is specialized in the solvers.
+	edges []stencilEdge
+	gTot  []float64 // Σ conductance per node, summed in edge order
+
 	// maxStep is the largest stable Euler step, derived from the
 	// stiffest node.
 	maxStep float64
+	plan    stepPlan
+
+	// peakDRAM caches the hottest DRAM-node temperature. eulerStep
+	// maintains it incrementally while writing the new field; solvers
+	// that update in place invalidate it instead.
+	peakDRAM  float64
+	peakValid bool
 }
 
 // New builds a model for the given stack and cooling. It panics on an
@@ -165,11 +221,15 @@ func New(cfg StackConfig, cooling Cooling) *Model {
 		nLayers: cfg.Layers(),
 	}
 	m.nNodes = m.nLayers*m.nCells + 1
-	m.temp = make([]float64, m.nNodes)
+	m.temp = make([]float64, m.nNodes+1)
+	m.tnext = make([]float64, m.nNodes+1)
 	m.power = make([]float64, m.nNodes)
+	amb := float64(cfg.Ambient)
 	for i := range m.temp {
-		m.temp[i] = float64(cfg.Ambient)
+		m.temp[i] = amb
+		m.tnext[i] = amb
 	}
+	m.peakDRAM, m.peakValid = amb, true
 	m.gVert = 1 / cfg.CellVerticalR
 	m.gLat = 1 / cfg.CellLateralR
 	m.gSpread = 1 / cfg.SinkSpreadR
@@ -184,6 +244,7 @@ func New(cfg StackConfig, cooling Cooling) *Model {
 			}
 		}
 	}
+	m.buildStencil()
 
 	// Stability bound: dt < C / ΣG at the stiffest node. A cell can see
 	// two vertical, four lateral, one spread and one rim conductance.
@@ -191,6 +252,73 @@ func New(cfg StackConfig, cooling Cooling) *Model {
 	gMaxSink := float64(m.nCells)*m.gSpread + m.gSink
 	m.maxStep = 0.5 * math.Min(cfg.CellCap/gMaxCell, cfg.SinkCap/gMaxSink)
 	return m
+}
+
+// buildStencil lays out the fixed-width edge table, the per-node total
+// conductances and heat capacities. The per-edge order matches the
+// reference model's accumulation order exactly, which is what makes the
+// stencil solvers bit-identical (float addition is not associative, so
+// the order is part of the contract); padding self-edges carry zero
+// conductance and contribute exactly +0.0.
+func (m *Model) buildStencil() {
+	ambient := int32(m.nNodes) // trailing constant-temperature slot
+	sink := m.sinkNode()
+	m.edges = make([]stencilEdge, sink*edgesPerCell)
+	for i := 0; i < sink; i++ {
+		n := 0
+		add := func(j int32, cond float64) {
+			m.edges[i*edgesPerCell+n] = stencilEdge{g: cond, j: j}
+			n++
+		}
+		layer := i / m.nCells
+		cell := i % m.nCells
+		x, y := cell%m.cfg.GridW, cell/m.cfg.GridW
+		if layer > 0 {
+			add(int32(m.node(layer-1, cell)), m.gVert)
+		}
+		if layer < m.nLayers-1 {
+			add(int32(m.node(layer+1, cell)), m.gVert)
+		} else {
+			// Top die couples into the sink node.
+			add(int32(sink), m.gSpread)
+		}
+		if x > 0 {
+			add(int32(i-1), m.gLat)
+		}
+		if x < m.cfg.GridW-1 {
+			add(int32(i+1), m.gLat)
+		}
+		if y > 0 {
+			add(int32(i-m.cfg.GridW), m.gLat)
+		}
+		if y < m.cfg.GridH-1 {
+			add(int32(i+m.cfg.GridW), m.gLat)
+		}
+		// Package-rim leakage from edge cells to ambient.
+		if m.isEdge[cell] {
+			add(ambient, m.gRim)
+		}
+		for ; n < edgesPerCell; n++ {
+			m.edges[i*edgesPerCell+n] = stencilEdge{g: 0, j: int32(i)}
+		}
+	}
+
+	// Per-node conductance totals, summed in edge order so they carry
+	// the same rounding the reference's per-sweep accumulation produces
+	// (padding adds +0.0, which never changes a positive sum's bits).
+	m.gTot = make([]float64, m.nNodes)
+	for i := 0; i < sink; i++ {
+		total := 0.0
+		for _, e := range m.edges[i*edgesPerCell : (i+1)*edgesPerCell] {
+			total += e.g
+		}
+		m.gTot[i] = total
+	}
+	sinkTot := 0.0
+	for c := 0; c < m.nCells; c++ {
+		sinkTot += m.gSpread
+	}
+	m.gTot[sink] = sinkTot + m.gSink
 }
 
 // Config returns the stack configuration.
@@ -268,115 +396,157 @@ func (m *Model) TotalPower() units.Watt {
 	return units.Watt(t)
 }
 
-// neighborFlux returns the net conductive flux into node i given the
-// temperature field t, plus the node's total conductance (for implicit
-// use by the steady-state solver).
-func (m *Model) neighborFlux(i int, t []float64) (flux, gTotal float64) {
-	amb := float64(m.cfg.Ambient)
-	if i == m.sinkNode() {
-		// Sink node: coupled to every top-die cell and to ambient.
-		top := m.nLayers - 1
-		for c := 0; c < m.nCells; c++ {
-			j := m.node(top, c)
-			flux += m.gSpread * (t[j] - t[i])
-			gTotal += m.gSpread
-		}
-		flux += m.gSink * (amb - t[i])
-		gTotal += m.gSink
-		return flux, gTotal
-	}
-	layer := i / m.nCells
-	cell := i % m.nCells
-	x, y := cell%m.cfg.GridW, cell/m.cfg.GridW
-	// Vertical neighbors.
-	if layer > 0 {
-		j := m.node(layer-1, cell)
-		flux += m.gVert * (t[j] - t[i])
-		gTotal += m.gVert
-	}
-	if layer < m.nLayers-1 {
-		j := m.node(layer+1, cell)
-		flux += m.gVert * (t[j] - t[i])
-		gTotal += m.gVert
-	} else {
-		// Top die couples into the sink node.
-		flux += m.gSpread * (t[m.sinkNode()] - t[i])
-		gTotal += m.gSpread
-	}
-	// Lateral neighbors.
-	if x > 0 {
-		j := i - 1
-		flux += m.gLat * (t[j] - t[i])
-		gTotal += m.gLat
-	}
-	if x < m.cfg.GridW-1 {
-		j := i + 1
-		flux += m.gLat * (t[j] - t[i])
-		gTotal += m.gLat
-	}
-	if y > 0 {
-		j := i - m.cfg.GridW
-		flux += m.gLat * (t[j] - t[i])
-		gTotal += m.gLat
-	}
-	if y < m.cfg.GridH-1 {
-		j := i + m.cfg.GridW
-		flux += m.gLat * (t[j] - t[i])
-		gTotal += m.gLat
-	}
-	// Package-rim leakage from edge cells to ambient.
-	if m.isEdge[cell] {
-		flux += m.gRim * (amb - t[i])
-		gTotal += m.gRim
-	}
-	return flux, gTotal
-}
-
-// Step advances the transient solution by d, subdividing into stable
-// Euler substeps automatically.
-func (m *Model) Step(d units.Time) {
+// substepSchedule splits d into nFull substeps of maxStep plus a final
+// remainder, replicating the rounding behaviour of the historical
+// `remaining -= dt` loop (iterated subtraction, so transient
+// trajectories stay bit-identical to the reference model) while
+// dropping the pure floating-point residue that loop could leave: when
+// d is a real-arithmetic multiple of maxStep, iterated subtraction can
+// terminate ~1e-18 above zero and trigger a physically meaningless
+// near-zero extra substep. Residues below maxStep*1e-9 are far under
+// the 1 ps resolution of units.Time and cannot be genuine remainders.
+func substepSchedule(d units.Time, maxStep float64) (nFull int, rem float64) {
 	remaining := d.Seconds()
-	for remaining > 0 {
-		dt := math.Min(remaining, m.maxStep)
-		m.eulerStep(dt)
-		remaining -= dt
+	for remaining > maxStep {
+		remaining -= maxStep
+		nFull++
+	}
+	if remaining <= maxStep*1e-9 {
+		remaining = 0
+	}
+	return nFull, remaining
+}
+
+// schedule returns the cached substep plan for d, computing it on first
+// use or when the duration changes.
+func (m *Model) schedule(d units.Time) (nFull int, rem float64) {
+	if m.plan.valid && m.plan.d == d {
+		return m.plan.nFull, m.plan.rem
+	}
+	nFull, rem = substepSchedule(d, m.maxStep)
+	m.plan = stepPlan{d: d, valid: true, nFull: nFull, rem: rem}
+	return nFull, rem
+}
+
+// Step advances the transient solution by d, subdividing into an
+// integer count of stable Euler substeps plus one remainder substep.
+func (m *Model) Step(d units.Time) {
+	nFull, rem := m.schedule(d)
+	for s := 0; s < nFull; s++ {
+		m.eulerStep(m.maxStep)
+	}
+	if rem > 0 {
+		m.eulerStep(rem)
 	}
 }
 
+// eulerStep advances every node by one explicit-Euler substep, writing
+// the next field into the spare buffer and swapping. The cell loop
+// also maintains the running DRAM peak (the i >= nCells test is
+// monotone over the loop, so it predicts perfectly).
 func (m *Model) eulerStep(dt float64) {
-	next := make([]float64, m.nNodes)
-	for i := 0; i < m.nNodes; i++ {
-		flux, _ := m.neighborFlux(i, m.temp)
-		cap := m.cfg.CellCap
-		if i == m.sinkNode() {
-			cap = m.cfg.SinkCap
+	t, next := m.temp, m.tnext
+	edges := m.edges
+	power := m.power
+	nCells := m.nCells
+	sink := m.nNodes - 1
+	// Every cell node shares the same heat capacity; only the sink
+	// differs. A scalar divisor keeps one load and one bounds check out
+	// of the hot loop without changing a bit of the arithmetic.
+	capCell := m.cfg.CellCap
+	peak := math.Inf(-1)
+	for i := 0; i < sink; i++ {
+		// cellFlux, written out in place: the call does not inline
+		// (the 8-term body exceeds the budget) and a call per node
+		// costs more than the flux walk itself.
+		e := edges[i*edgesPerCell : i*edgesPerCell+edgesPerCell : i*edgesPerCell+edgesPerCell]
+		ti := t[i]
+		f := e[0].g * (t[e[0].j] - ti)
+		f += e[1].g * (t[e[1].j] - ti)
+		f += e[2].g * (t[e[2].j] - ti)
+		f += e[3].g * (t[e[3].j] - ti)
+		f += e[4].g * (t[e[4].j] - ti)
+		f += e[5].g * (t[e[5].j] - ti)
+		f += e[6].g * (t[e[6].j] - ti)
+		f += e[7].g * (t[e[7].j] - ti)
+		v := ti + dt*(f+power[i])/capCell
+		next[i] = v
+		if i >= nCells && v > peak {
+			peak = v
 		}
-		next[i] = m.temp[i] + dt*(flux+m.power[i])/cap
 	}
-	m.temp = next
+	next[sink] = t[sink] + dt*(m.sinkFlux(t)+power[sink])/m.cfg.SinkCap
+	m.temp, m.tnext = next, t
+	m.peakDRAM, m.peakValid = peak, true
+}
+
+// sinkFlux is the specialized heat-sink node walk: top-die cells in
+// cell order, then ambient — the same order the reference model uses.
+func (m *Model) sinkFlux(t []float64) float64 {
+	sink := m.nNodes - 1
+	ts := t[sink]
+	gSpread := m.gSpread
+	f := 0.0
+	for j := sink - m.nCells; j < sink; j++ {
+		f += gSpread * (t[j] - ts)
+	}
+	f += m.gSink * (t[m.nNodes] - ts)
+	return f
 }
 
 // SolveSteady relaxes the network to its steady state for the current
 // power injection using Gauss-Seidel iteration. It returns the number of
-// sweeps performed.
-func (m *Model) SolveSteady() int {
+// sweeps performed, or -1 if the iteration did not converge (callers
+// must surface that as an error rather than read a half-converged
+// field).
+func (m *Model) SolveSteady() int { return m.SolveSteadySOR(1) }
+
+// SolveSteadySOR is SolveSteady with a successive-over-relaxation
+// factor omega in (0, 2). omega == 1 is plain Gauss-Seidel and is
+// bit-identical to the reference solver; factors above 1 can converge
+// in fewer sweeps on the analytic sweep workloads. It panics on a
+// factor outside (0, 2), for which SOR is not convergent.
+func (m *Model) SolveSteadySOR(omega float64) int {
+	if omega <= 0 || omega >= 2 {
+		panic(fmt.Sprintf("thermal: SOR factor %g outside (0, 2)", omega))
+	}
 	const (
 		tol       = 1e-6
 		maxSweeps = 200000
 	)
+	t := m.temp
+	edges := m.edges
+	power, gTot := m.power, m.gTot
+	sink := m.nNodes - 1
+	m.peakValid = false
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		maxDelta := 0.0
-		for i := 0; i < m.nNodes; i++ {
+		for i := 0; i < sink; i++ {
 			// T_i = (P_i + Σ G_ij T_j + G_amb T_amb) / Σ G. The flux
-			// form gives the same fixed point: solve flux + P = 0 for T_i.
-			flux, gTotal := m.neighborFlux(i, m.temp)
-			// flux = Σ G_ij (T_j - T_i); the update solves for the T_i
-			// that zeroes flux + P_i: T_i' = T_i + (flux + P_i)/ΣG.
-			delta := (flux + m.power[i]) / gTotal
-			m.temp[i] += delta
+			// form gives the same fixed point: the update solves for
+			// the T_i that zeroes flux + P_i. cellFlux is written out
+			// in place — see eulerStep.
+			e := edges[i*edgesPerCell : i*edgesPerCell+edgesPerCell : i*edgesPerCell+edgesPerCell]
+			ti := t[i]
+			f := e[0].g * (t[e[0].j] - ti)
+			f += e[1].g * (t[e[1].j] - ti)
+			f += e[2].g * (t[e[2].j] - ti)
+			f += e[3].g * (t[e[3].j] - ti)
+			f += e[4].g * (t[e[4].j] - ti)
+			f += e[5].g * (t[e[5].j] - ti)
+			f += e[6].g * (t[e[6].j] - ti)
+			f += e[7].g * (t[e[7].j] - ti)
+			delta := omega * ((f + power[i]) / gTot[i])
+			t[i] += delta
 			if d := math.Abs(delta); d > maxDelta {
 				maxDelta = d
 			}
+		}
+		// The sink node relaxes last, as in the reference sweep order.
+		delta := omega * ((m.sinkFlux(t) + power[sink]) / gTot[sink])
+		t[sink] += delta
+		if d := math.Abs(delta); d > maxDelta {
+			maxDelta = d
 		}
 		if maxDelta < tol {
 			return sweep
@@ -387,9 +557,11 @@ func (m *Model) SolveSteady() int {
 
 // Reset returns every node to ambient.
 func (m *Model) Reset() {
+	amb := float64(m.cfg.Ambient)
 	for i := range m.temp {
-		m.temp[i] = float64(m.cfg.Ambient)
+		m.temp[i] = amb
 	}
+	m.peakDRAM, m.peakValid = amb, true
 }
 
 // CellTemp returns the temperature of one cell.
@@ -412,13 +584,18 @@ func (m *Model) LayerPeak(layer int) units.Celsius {
 }
 
 // PeakDRAM returns the hottest DRAM cell in the stack — the quantity the
-// paper's operating phases and all of Figs. 4, 5, 13 are defined on.
+// paper's operating phases and all of Figs. 4, 5, 13 are defined on. The
+// transient integrator maintains it incrementally, so the per-tick
+// coupling and sampler read it in O(1) instead of rescanning the stack.
 func (m *Model) PeakDRAM() units.Celsius {
-	peak := math.Inf(-1)
-	for l := 1; l < m.nLayers; l++ {
-		peak = math.Max(peak, float64(m.LayerPeak(l)))
+	if !m.peakValid {
+		peak := math.Inf(-1)
+		for i := m.nCells; i < m.nNodes-1; i++ {
+			peak = math.Max(peak, m.temp[i])
+		}
+		m.peakDRAM, m.peakValid = peak, true
 	}
-	return units.Celsius(peak)
+	return units.Celsius(m.peakDRAM)
 }
 
 // PeakLogic returns the hottest logic-die cell.
