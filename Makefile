@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check clean
+.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check sweep-smoke clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -74,6 +74,22 @@ bench-smoke:
 figs-check:
 	$(GO) run ./cmd/figures -exp fig14 -profile paper | diff -u results_fig14.txt - \
 		&& echo "results_fig14.txt up to date"
+
+# sweep-smoke exercises the fault-tolerant campaign runner end to end:
+# a TestProfile 2x2 matrix through coolpim-sweep, killed after two runs
+# (exit 3, the interrupt hook), then resumed from the JSONL ledger. The
+# resumed campaign must reuse exactly the two completed cells.
+sweep-smoke:
+	$(GO) build -o bin/coolpim-sweep ./cmd/coolpim-sweep
+	rm -f bin/sweep-smoke.ledger
+	bin/coolpim-sweep -profile test -workloads dc,pagerank -policies baseline,naive \
+		-parallel 2 -ledger bin/sweep-smoke.ledger -interrupt-after 2; \
+	status=$$?; if [ $$status -ne 3 ]; then \
+		echo "expected interrupt exit 3, got $$status"; exit 1; fi
+	bin/coolpim-sweep -profile test -workloads dc,pagerank -policies baseline,naive \
+		-parallel 2 -ledger bin/sweep-smoke.ledger -resume \
+		| tee /dev/stderr | grep -q "executed 2, from ledger 2, failed 0"
+	@echo "sweep-smoke OK"
 
 clean:
 	rm -f BENCH_full_*.json trace.jsonl metrics.prom series.csv

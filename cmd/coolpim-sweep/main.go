@@ -1,0 +1,238 @@
+// Command coolpim-sweep runs a (workload × policy) campaign matrix on
+// the fault-tolerant runner: a bounded worker pool with per-run
+// deadlines, deterministic retry, panic isolation and a JSONL run
+// ledger that makes interrupted campaigns resumable.
+//
+// Usage:
+//
+//	coolpim-sweep [-profile paper|full|quick|test]
+//	              [-workloads dc,pagerank] [-policies baseline,naive]
+//	              [-parallel N] [-timeout 10m] [-retries 2] [-backoff 1s]
+//	              [-fail-fast] [-ledger runs.jsonl] [-resume]
+//	              [-out report.txt] [-metrics-out metrics.prom] [-v]
+//
+// Exit codes: 0 success, 1 campaign failure, 2 usage error,
+// 3 interrupted (test hook).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"coolpim/internal/core"
+	"coolpim/internal/experiments"
+	runnerpkg "coolpim/internal/runner"
+	"coolpim/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	profileName := flag.String("profile", "paper", "system profile: paper, full, quick, test")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workloads (default: full paper set)")
+	policiesFlag := flag.String("policies", "", "comma-separated policies: "+strings.Join(core.PolicyNames(), ", ")+" (default: all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent runs")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = none)")
+	retries := flag.Int("retries", 0, "retry budget per run")
+	backoff := flag.Duration("backoff", time.Second, "base retry backoff (doubles per attempt)")
+	failFast := flag.Bool("fail-fast", false, "stop dispatching new runs after the first failure")
+	ledgerPath := flag.String("ledger", "", "JSONL run ledger path (enables checkpointing)")
+	resume := flag.Bool("resume", false, "reuse completed runs from the ledger (requires -ledger)")
+	outPath := flag.String("out", "", "write the report here instead of stdout")
+	metricsOut := flag.String("metrics-out", "", "write campaign metrics (Prometheus text format) here")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	interruptAfter := flag.Int("interrupt-after", 0, "test hook: exit(3) after N executed runs, simulating a mid-campaign kill")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+	if *resume && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -ledger")
+		return 2
+	}
+
+	prof, ok := profileByName(*profileName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
+		return 2
+	}
+	workloads := splitList(*workloadsFlag)
+	var policies []core.PolicyKind
+	for _, name := range splitList(*policiesFlag) {
+		pol, err := core.ParsePolicy(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		policies = append(policies, pol)
+	}
+
+	var ledger *runnerpkg.Ledger
+	if *ledgerPath != "" {
+		var err error
+		ledger, err = runnerpkg.OpenLedger(*ledgerPath, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ledger:", err)
+			return 1
+		}
+		defer ledger.Close()
+		if *resume && *verbose {
+			fmt.Fprintf(os.Stderr, "ledger %s: %d completed runs loaded\n", *ledgerPath, ledger.Resumable())
+		}
+	}
+
+	tel := telemetry.New()
+	opts := experiments.MatrixOpts{
+		Workloads: workloads,
+		Policies:  policies,
+		Parallel:  *parallel,
+		Timeout:   *timeout,
+		Retries:   *retries,
+		Backoff:   *backoff,
+		FailFast:  *failFast,
+		Ledger:    ledger,
+		Telemetry: tel,
+	}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	var executed, fromLedger, failed int
+	opts.OnRunDone = func(key string, err error, ledgered bool) {
+		switch {
+		case ledgered:
+			fromLedger++
+		case err != nil:
+			failed++
+		default:
+			executed++
+			if *interruptAfter > 0 && executed >= *interruptAfter {
+				// The run's ledger entry is durable (appended and fsynced
+				// before this callback); exiting here simulates a kill
+				// arriving mid-campaign.
+				fmt.Fprintf(os.Stderr, "interrupt-after: stopping after %d executed runs\n", executed)
+				os.Exit(3)
+			}
+		}
+	}
+
+	rows, err := experiments.RunMatrixOpts(context.Background(), prof, opts)
+	if merr := writeMetrics(*metricsOut, tel); merr != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", merr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign failed:")
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	report(out, prof, rows)
+	fmt.Printf("campaign: %d cells, executed %d, from ledger %d, failed %d\n",
+		executed+fromLedger+failed, executed, fromLedger, failed)
+	return 0
+}
+
+func profileByName(name string) (experiments.Profile, bool) {
+	switch name {
+	case "paper":
+		return experiments.PaperProfile(), true
+	case "full":
+		return experiments.FullProfile(), true
+	case "quick":
+		return experiments.QuickProfile(), true
+	case "test":
+		return experiments.TestProfile(), true
+	}
+	return experiments.Profile{}, false
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func writeMetrics(path string, tel *telemetry.Telemetry) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tel.Registry.WritePrometheus(f)
+}
+
+// report prints the campaign results as one table per metric family,
+// mirroring the Fig. 10-13 layout but restricted to the selected cells.
+func report(w io.Writer, prof experiments.Profile, rows []experiments.Row) {
+	fmt.Fprintf(w, "## sweep report — profile %s, %d workloads\n\n", prof.Name, len(rows))
+	if len(rows) == 0 {
+		return
+	}
+	pols := experiments.SortedPolicies(rows[0])
+	haveBase := false
+	for _, p := range pols {
+		if p == core.NonOffloading {
+			haveBase = true
+		}
+	}
+
+	fmt.Fprintf(w, "%-10s %-18s %-12s %-12s %-10s", "workload", "policy", "runtime", "pim(op/ns)", "peak(°C)")
+	if haveBase {
+		fmt.Fprintf(w, " %-8s", "speedup")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		for _, p := range pols {
+			res := r.Results[p]
+			if res == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %-18v %-12v %-12.2f %-10.1f",
+				r.Workload, p, res.Runtime, float64(res.AvgPIMRate), float64(res.PeakDRAM))
+			if haveBase {
+				fmt.Fprintf(w, " %-8.3f", r.Speedup(p))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if haveBase {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-18s %s\n", "policy", "gmean speedup")
+		for _, p := range pols {
+			p := p
+			g := experiments.GeoMean(rows, func(r experiments.Row) float64 { return r.Speedup(p) })
+			if math.IsNaN(g) {
+				continue
+			}
+			fmt.Fprintf(w, "%-18v %.3f\n", p, g)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -5,12 +5,14 @@
 //
 //	figures -exp table1|table2|table3|table4|fig1|fig2|fig3|fig4|fig5
 //	figures -exp fig10|fig11|fig12|fig13|fig14   [-profile paper|full|quick]
+//	                                              [-ledger runs.jsonl [-resume]]
 //	figures -all                                  (everything; the system
 //	                                               figures take minutes)
 //	figures -analytic                             (tables + figs 1-5 only)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/dram"
 	"coolpim/internal/experiments"
+	"coolpim/internal/runner"
 	"coolpim/internal/units"
 )
 
@@ -28,7 +31,14 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	analytic := flag.Bool("analytic", false, "run the analytic tables and figures only")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	ledgerPath := flag.String("ledger", "", "JSONL run ledger for the system matrix (checkpointing)")
+	resume := flag.Bool("resume", false, "reuse completed matrix runs from the ledger (requires -ledger)")
 	flag.Parse()
+
+	if *resume && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -ledger")
+		os.Exit(2)
+	}
 
 	prof := profileByName(*profileName)
 
@@ -63,8 +73,22 @@ func main() {
 		if *verbose {
 			progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 		}
+		var ledger *runner.Ledger
+		if *ledgerPath != "" {
+			var err error
+			ledger, err = runner.OpenLedger(*ledgerPath, *resume)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ledger:", err)
+				os.Exit(1)
+			}
+			defer ledger.Close()
+		}
 		var err error
-		rows, err = experiments.RunMatrix(prof, nil, nil, 1, progress)
+		rows, err = experiments.RunMatrixOpts(context.Background(), prof, experiments.MatrixOpts{
+			Parallel: 1,
+			Ledger:   ledger,
+			Progress: progress,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matrix failed:", err)
 			os.Exit(1)

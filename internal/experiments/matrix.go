@@ -1,15 +1,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"coolpim/internal/core"
 	"coolpim/internal/graph"
 	"coolpim/internal/kernels"
+	"coolpim/internal/runner"
 	"coolpim/internal/system"
+	"coolpim/internal/telemetry"
 	"coolpim/internal/units"
 )
 
@@ -140,91 +144,168 @@ func (r Row) NormBW(k core.PolicyKind) float64 {
 	return res.NormalizedBW(base)
 }
 
+// MatrixOpts configures a campaign beyond the profile. The zero value
+// reproduces the historical RunMatrix behavior: serial, run to
+// completion, no deadline, no retry, no ledger.
+type MatrixOpts struct {
+	// Workloads and Policies select the matrix cells; empty means the
+	// full paper matrix (kernels.Names() × core.Kinds()).
+	Workloads []string
+	Policies  []core.PolicyKind
+	// Parallel bounds the worker pool (each run is single-threaded and
+	// deterministic; < 1 means 1).
+	Parallel int
+	// Timeout is the per-attempt wall-clock deadline (0 = none).
+	Timeout time.Duration
+	// Retries and Backoff bound the deterministic retry of retryable
+	// failures (see runner.Config).
+	Retries int
+	Backoff time.Duration
+	// FailFast stops dispatching new runs after the first failure; the
+	// default runs the matrix to completion, which also makes the
+	// aggregated error fully deterministic.
+	FailFast bool
+	// Ledger enables checkpoint/resume: completed (workload, policy,
+	// profile-hash) cells are loaded instead of re-run.
+	Ledger *runner.Ledger
+	// Telemetry receives campaign-level metrics (per-run wall timing,
+	// queue depth); it is distinct from the per-run Sys.Telemetry hook.
+	Telemetry *telemetry.Telemetry
+	// Progress, if non-nil, receives one line per completed run, on the
+	// caller's goroutine.
+	Progress func(string)
+	// OnRunStart and OnRunDone observe scheduling: OnRunStart fires
+	// from worker goroutines (concurrently) as each attempt begins;
+	// OnRunDone fires on the caller's goroutine, after the run's ledger
+	// entry is durable, in completion order.
+	OnRunStart func(key string, attempt int)
+	OnRunDone  func(key string, err error, fromLedger bool)
+}
+
+// newSized constructs workloads; indirected so tests can inject failing
+// or panicking constructors into the campaign path.
+var newSized = kernels.NewSized
+
+// matrixKey names one campaign cell in errors, ledgers and hooks.
+func matrixKey(wl string, pol core.PolicyKind) string { return wl + "/" + pol.String() }
+
 // RunMatrix executes every (workload × policy) combination of the
 // campaign, `parallel` runs at a time (each run is single-threaded and
 // deterministic). progress, if non-nil, receives one line per completed
-// run.
+// run. It is RunMatrixOpts with the historical defaults.
 func RunMatrix(p Profile, workloads []string, policies []core.PolicyKind, parallel int, progress func(string)) ([]Row, error) {
+	return RunMatrixOpts(context.Background(), p, MatrixOpts{
+		Workloads: workloads,
+		Policies:  policies,
+		Parallel:  parallel,
+		Progress:  progress,
+	})
+}
+
+// RunMatrixOpts executes the campaign matrix on the internal/runner
+// orchestration layer. Results are keyed deterministically by matrix
+// position; a failing matrix returns a *runner.CampaignError listing
+// every failure in canonical (workload, policy) order regardless of
+// completion order, and a panicking run surfaces as a
+// *runner.RunPanicError instead of wedging the pool.
+//
+// Campaign rows carry aggregates only — each run's time series is
+// dropped (it would dominate the resume ledger; use Fig14Series for
+// series work), so fresh and ledger-resumed rows are identical.
+func RunMatrixOpts(ctx context.Context, p Profile, o MatrixOpts) ([]Row, error) {
+	workloads := o.Workloads
 	if len(workloads) == 0 {
 		workloads = kernels.Names()
 	}
+	policies := o.Policies
 	if len(policies) == 0 {
 		policies = core.Kinds()
 	}
-	if parallel < 1 {
-		parallel = 1
-	}
 	g := p.Graph()
+	hash, err := p.ConfigHash()
+	if err != nil {
+		return nil, err
+	}
 
-	type job struct {
-		wl  string
-		pol core.PolicyKind
-	}
-	type outcome struct {
-		job
-		res *system.Result
-		err error
-	}
-	jobs := make(chan job)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for i := 0; i < parallel; i++ {
-		wg.Add(1)
-		//coolpim:allow determinism harness-level fan-out: each worker owns a whole engine; no simulation state is shared between runs
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				w, err := kernels.NewSized(j.wl, p.Reps)
-				if err != nil {
-					results <- outcome{j, nil, err}
-					continue
-				}
-				res, err := system.RunWorkload(w, j.pol, p.Sys, g)
-				results <- outcome{j, res, err}
-			}
-		}()
-	}
-	//coolpim:allow determinism harness-level feeder goroutine; results are reassembled into deterministic (workload, policy) matrix order below
-	go func() {
-		for _, wl := range workloads {
-			for _, pol := range policies {
-				jobs <- job{wl, pol}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	byWL := make(map[string]map[core.PolicyKind]*system.Result)
-	var firstErr error
-	for o := range results {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/%v: %w", o.wl, o.pol, o.err)
-			}
-			continue
-		}
-		if o.res.VerifyErr != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s/%v: %w", o.wl, o.pol, o.res.VerifyErr)
-		}
-		if byWL[o.wl] == nil {
-			byWL[o.wl] = make(map[core.PolicyKind]*system.Result)
-		}
-		byWL[o.wl][o.pol] = o.res
-		if progress != nil {
-			progress(fmt.Sprintf("%-10s %-18v rt=%v pim=%v peak=%v",
-				o.wl, o.pol, o.res.Runtime, o.res.AvgPIMRate, o.res.PeakDRAM))
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	var rows []Row
+	jobs := make([]runner.Job[*system.Result], 0, len(workloads)*len(policies))
 	for _, wl := range workloads {
-		rows = append(rows, Row{Workload: wl, Results: byWL[wl]})
+		for _, pol := range policies {
+			wl, pol := wl, pol
+			jobs = append(jobs, runner.Job[*system.Result]{
+				Key: matrixKey(wl, pol),
+				Run: func(context.Context) (*system.Result, error) {
+					w, err := newSized(wl, p.Reps)
+					if err != nil {
+						return nil, err
+					}
+					res, err := system.RunWorkload(w, pol, p.Sys, g)
+					if err != nil {
+						return nil, err
+					}
+					if res.VerifyErr != nil {
+						return nil, fmt.Errorf("verification: %w", res.VerifyErr)
+					}
+					res.Series = nil
+					return res, nil
+				},
+				Done: func(r runner.Result[*system.Result]) {
+					if o.Progress != nil && r.Err == nil {
+						src := ""
+						if r.FromLedger {
+							src = "  (ledger)"
+						}
+						o.Progress(fmt.Sprintf("%-10s %-18v rt=%v pim=%v peak=%v%s",
+							wl, pol, r.Value.Runtime, r.Value.AvgPIMRate, r.Value.PeakDRAM, src))
+					}
+					if o.OnRunDone != nil {
+						o.OnRunDone(r.Key, r.Err, r.FromLedger)
+					}
+				},
+			})
+		}
+	}
+
+	results, err := runner.Run(ctx, runner.Config{
+		Parallel:   o.Parallel,
+		Timeout:    o.Timeout,
+		Retries:    o.Retries,
+		Backoff:    o.Backoff,
+		FailFast:   o.FailFast,
+		Ledger:     o.Ledger,
+		ConfigHash: hash,
+		OnStart:    o.OnRunStart,
+		Telemetry:  o.Telemetry,
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Row, 0, len(workloads))
+	i := 0
+	for _, wl := range workloads {
+		row := Row{Workload: wl, Results: make(map[core.PolicyKind]*system.Result, len(policies))}
+		for _, pol := range policies {
+			row.Results[pol] = results[i].Value
+			i++
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// ConfigHash fingerprints everything about the profile that determines
+// a run's outcome — graph parameters, workload sizing and the full
+// system configuration — excluding the run-scoped Telemetry hook, which
+// never affects results. Ledger entries recorded under a different hash
+// are re-run on resume instead of silently reused.
+func (p Profile) ConfigHash() (string, error) {
+	q := p
+	q.Sys.Telemetry = nil
+	h, err := runner.HashConfig(q)
+	if err != nil {
+		return "", fmt.Errorf("experiments: hashing profile %s: %w", p.Name, err)
+	}
+	return h, nil
 }
 
 // GeoMean returns the geometric mean of the per-workload values produced
@@ -253,34 +334,31 @@ func GeoMean(rows []Row, f func(Row) float64) float64 {
 func Fig14Series(p Profile, workload string) (map[core.PolicyKind][]system.Sample, error) {
 	pols := []core.PolicyKind{core.NaiveOffloading, core.CoolPIMSW, core.CoolPIMHW}
 	g := p.Graph()
-	series := make([][]system.Sample, len(pols))
-	errs := make([]error, len(pols))
-	var wg sync.WaitGroup
-	for i, pol := range pols {
-		wg.Add(1)
-		//coolpim:allow determinism harness-level fan-out, same pattern as RunMatrix: each policy run owns a whole engine; per-policy series are reassembled in fixed policy order below, independent of completion order
-		go func(i int, pol core.PolicyKind) {
-			defer wg.Done()
-			w, err := kernels.NewSized(workload, p.Reps)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, err := system.RunWorkload(w, pol, p.Sys, g)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			series[i] = res.Series
-		}(i, pol)
+	jobs := make([]runner.Job[[]system.Sample], 0, len(pols))
+	for _, pol := range pols {
+		pol := pol
+		jobs = append(jobs, runner.Job[[]system.Sample]{
+			Key: matrixKey(workload, pol),
+			Run: func(context.Context) ([]system.Sample, error) {
+				w, err := newSized(workload, p.Reps)
+				if err != nil {
+					return nil, err
+				}
+				res, err := system.RunWorkload(w, pol, p.Sys, g)
+				if err != nil {
+					return nil, err
+				}
+				return res.Series, nil
+			},
+		})
 	}
-	wg.Wait()
+	results, err := runner.Run(context.Background(), runner.Config{Parallel: len(pols)}, jobs)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[core.PolicyKind][]system.Sample, len(pols))
 	for i, pol := range pols {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out[pol] = series[i]
+		out[pol] = results[i].Value
 	}
 	return out, nil
 }

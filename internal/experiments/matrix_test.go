@@ -1,12 +1,24 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"coolpim/internal/core"
+	"coolpim/internal/gpu"
+	"coolpim/internal/graph"
 	"coolpim/internal/kernels"
+	"coolpim/internal/mem"
+	"coolpim/internal/runner"
 	"coolpim/internal/system"
+	"coolpim/internal/units"
 )
 
 // TestGraphConcurrentSingleInstance hammers Profile.Graph from many
@@ -35,6 +47,232 @@ func TestGraphConcurrentSingleInstance(t *testing.T) {
 	}
 }
 
+// stubWorkload converges immediately: the full system stack spins up
+// and tears down in microseconds, making matrix-orchestration tests
+// cheap without touching the real kernels.
+type stubWorkload struct {
+	name  string
+	delay time.Duration
+}
+
+func (s stubWorkload) Name() string { return s.name }
+func (s stubWorkload) Profile() kernels.Profile {
+	return kernels.Profile{PIMIntensity: 0.5, DivergenceRatio: 0.5}
+}
+func (s stubWorkload) Setup(*mem.Space, *graph.Graph) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+}
+func (s stubWorkload) NextLaunch() (*gpu.Launch, bool) { return nil, false }
+func (s stubWorkload) Verify() error                   { return nil }
+
+// stubConstructors swaps the campaign's workload constructor for one
+// that returns instant stub workloads, failing or panicking for the
+// named workloads, and counting every constructor call.
+func stubConstructors(t *testing.T, fail map[string]error, panics map[string]string, delay time.Duration, calls *atomic.Int64) {
+	t.Helper()
+	orig := newSized
+	newSized = func(name string, reps int) (kernels.Workload, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		if msg, ok := panics[name]; ok {
+			panic(msg)
+		}
+		if err, ok := fail[name]; ok {
+			return nil, err
+		}
+		return stubWorkload{name: name, delay: delay}, nil
+	}
+	t.Cleanup(func() { newSized = orig })
+}
+
+// TestMatrixDeterministicError is the end-to-end regression test for
+// the nondeterministic campaign error: with two cells failing on a
+// parallel pool, the aggregated error must be byte-identical across 50
+// campaigns and list failures in canonical matrix order.
+func TestMatrixDeterministicError(t *testing.T) {
+	stubConstructors(t, map[string]error{
+		"bfs-ta": errors.New("synthetic bfs-ta failure"),
+		"kcore":  errors.New("synthetic kcore failure"),
+	}, nil, 0, nil)
+	p := TestProfile()
+	var first string
+	for run := 0; run < 50; run++ {
+		_, err := RunMatrixOpts(context.Background(), p, MatrixOpts{
+			Policies: []core.PolicyKind{core.NonOffloading},
+			Parallel: 4,
+		})
+		if err == nil {
+			t.Fatal("poisoned matrix returned nil error")
+		}
+		if run == 0 {
+			first = err.Error()
+			bi := strings.Index(first, "bfs-ta")
+			ki := strings.Index(first, "kcore")
+			if bi < 0 || ki < 0 {
+				t.Fatalf("error missing a failure: %q", first)
+			}
+			if bi > ki {
+				t.Fatalf("failures not in matrix order: %q", first)
+			}
+			continue
+		}
+		if got := err.Error(); got != first {
+			t.Fatalf("campaign %d error diverged:\n%q\nvs\n%q", run, got, first)
+		}
+	}
+}
+
+// TestMatrixFailFast: a poisoned 10x5 matrix under fail-fast must stop
+// dispatching long before all 50 cells are scheduled.
+func TestMatrixFailFast(t *testing.T) {
+	var calls atomic.Int64
+	stubConstructors(t, map[string]error{"dc": errors.New("poisoned")}, nil, 5*time.Millisecond, &calls)
+	p := TestProfile()
+	_, err := RunMatrixOpts(context.Background(), p, MatrixOpts{
+		Parallel: 2,
+		FailFast: true,
+	})
+	if err == nil {
+		t.Fatal("poisoned fail-fast matrix returned nil error")
+	}
+	var ce *runner.CampaignError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if ce.NotRun == 0 {
+		t.Fatal("fail-fast matrix reports no skipped cells")
+	}
+	if n := calls.Load(); n >= 25 {
+		t.Fatalf("fail-fast still scheduled %d of 50 runs", n)
+	}
+}
+
+// TestMatrixPanicIsolation: a panicking workload constructor surfaces
+// as a typed *runner.RunPanicError naming the cell, and the campaign
+// still completes the healthy cells.
+func TestMatrixPanicIsolation(t *testing.T) {
+	stubConstructors(t, nil, map[string]string{"pagerank": "constructor exploded"}, 0, nil)
+	p := TestProfile()
+	_, err := RunMatrixOpts(context.Background(), p, MatrixOpts{
+		Workloads: []string{"dc", "pagerank"},
+		Policies:  []core.PolicyKind{core.NonOffloading, core.NaiveOffloading},
+		Parallel:  4,
+	})
+	if err == nil {
+		t.Fatal("panicking matrix returned nil error")
+	}
+	var pe *runner.RunPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no *runner.RunPanicError in %v", err)
+	}
+	if !strings.HasPrefix(pe.Key, "pagerank/") {
+		t.Fatalf("panic attributed to %q", pe.Key)
+	}
+}
+
+// TestMatrixLedgerResume: an interrupted campaign (two of four cells
+// ledgered, plus a torn trailing line from the kill) resumes by
+// executing only the incomplete cells.
+func TestMatrixLedgerResume(t *testing.T) {
+	var calls atomic.Int64
+	stubConstructors(t, nil, nil, 0, &calls)
+	p := TestProfile()
+	path := filepath.Join(t.TempDir(), "matrix.jsonl")
+	pols := []core.PolicyKind{core.NonOffloading, core.NaiveOffloading}
+
+	l1, err := runner.OpenLedger(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMatrixOpts(context.Background(), p, MatrixOpts{
+		Workloads: []string{"dc"}, Policies: pols, Ledger: l1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+	if calls.Load() != 2 {
+		t.Fatalf("partial campaign ran %d cells", calls.Load())
+	}
+
+	// The kill arrived mid-append: a torn trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"pagerank/Non-`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	calls.Store(0)
+	var fresh, ledgered []string
+	l2, err := runner.OpenLedger(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rows, err := RunMatrixOpts(context.Background(), p, MatrixOpts{
+		Workloads: []string{"dc", "pagerank"}, Policies: pols, Ledger: l2,
+		OnRunDone: func(key string, err error, fromLedger bool) {
+			if fromLedger {
+				ledgered = append(ledgered, key)
+			} else {
+				fresh = append(fresh, key)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("resumed campaign ran %d cells, want 2 (run-count probe)", calls.Load())
+	}
+	if len(ledgered) != 2 || len(fresh) != 2 {
+		t.Fatalf("resume split = %v ledgered, %v fresh", ledgered, fresh)
+	}
+	for _, k := range ledgered {
+		if !strings.HasPrefix(k, "dc/") {
+			t.Fatalf("unexpected ledgered cell %q", k)
+		}
+	}
+	for _, row := range rows {
+		for _, pol := range pols {
+			if row.Results[pol] == nil {
+				t.Fatalf("row %s missing %v result", row.Workload, pol)
+			}
+		}
+	}
+}
+
+// TestMatrixConfigHashStableAndSensitive: the resume key must not move
+// between identical campaigns but must move when the profile changes.
+func TestMatrixConfigHashStableAndSensitive(t *testing.T) {
+	p := TestProfile()
+	h1, err := p.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := TestProfile().ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("profile hash unstable: %s vs %s", h1, h2)
+	}
+	q := TestProfile()
+	q.Reps++
+	h3, err := q.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("profile hash insensitive to Reps")
+	}
+}
+
 // TestFig14SeriesMatchesSerialRuns pins the parallelized Fig14Series:
 // each policy's series must be identical to a serial RunWorkload of the
 // same (workload, policy) pair.
@@ -43,6 +281,10 @@ func TestFig14SeriesMatchesSerialRuns(t *testing.T) {
 		t.Skip("full-system comparison run")
 	}
 	p := TestProfile()
+	// An awkward sampling period (prime in nanoseconds) guarantees the
+	// runtime is not a multiple of the interval, exercising the flushed
+	// tail window through the full Fig. 14 path.
+	p.Sys.SampleInterval = 73009 * units.Nanosecond
 	const workload = "dc"
 	got, err := Fig14Series(p, workload)
 	if err != nil {
@@ -59,6 +301,14 @@ func TestFig14SeriesMatchesSerialRuns(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := res.Series
+		if len(want) > 0 {
+			if last := want[len(want)-1]; last.At != res.Runtime {
+				t.Fatalf("%v: series ends at %v, runtime is %v: tail window dropped", pol, last.At, res.Runtime)
+			}
+		}
+		if res.Runtime%p.Sys.SampleInterval == 0 {
+			t.Fatalf("%v: runtime %v is a multiple of the sample interval; test lost its awkward ratio", pol, res.Runtime)
+		}
 		series, ok := got[pol]
 		if !ok {
 			t.Fatalf("Fig14Series missing policy %v", pol)

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Entry statuses.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Entry is one JSONL ledger record: the final outcome of one job. A
+// campaign appends an entry (and syncs the file) as each run completes,
+// so a killed campaign leaves a ledger describing exactly the work that
+// finished — at worst with one torn trailing line, which resume
+// tolerates.
+type Entry struct {
+	Key        string          `json:"key"`
+	ConfigHash string          `json:"config_hash"`
+	Status     string          `json:"status"`
+	Attempts   int             `json:"attempts,omitempty"`
+	WallMs     float64         `json:"wall_ms,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Ledger is the append-only JSONL run ledger behind checkpoint/resume.
+// A nil *Ledger is a valid "disabled" ledger: Completed misses and
+// Append is a no-op.
+type Ledger struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Entry // successful entries loaded on resume
+	path string
+}
+
+// OpenLedger opens (creating if needed) the ledger at path. With
+// resume, existing entries are loaded first: later campaigns skip jobs
+// whose (key, config-hash) matches a successful entry, failed entries
+// are re-run, unparsable lines — the torn tail of a killed campaign —
+// are skipped, and new entries are appended after the old ones.
+// Without resume the file is truncated.
+func OpenLedger(path string, resume bool) (*Ledger, error) {
+	l := &Ledger{done: make(map[string]Entry), path: path}
+	needNewline := false
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("runner: reading ledger: %w", err)
+		}
+		needNewline = len(data) > 0 && data[len(data)-1] != '\n'
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var e Entry
+			if err := json.Unmarshal([]byte(line), &e); err != nil || e.Key == "" {
+				continue // torn or foreign line; never trust it
+			}
+			if e.Status == StatusOK {
+				l.done[e.Key] = e
+			} else {
+				// A later failure supersedes an earlier success for the
+				// same key (e.g. a re-run after a config revert).
+				delete(l.done, e.Key)
+			}
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening ledger: %w", err)
+	}
+	if needNewline {
+		// Terminate the torn line a killed campaign left behind so our
+		// first append starts on a fresh line.
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: repairing ledger tail: %w", err)
+		}
+	}
+	l.f = f
+	return l, nil
+}
+
+// Path returns the ledger's file path ("" for a nil ledger).
+func (l *Ledger) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Resumable returns how many successful entries were loaded at open.
+func (l *Ledger) Resumable() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.done)
+}
+
+// Completed returns the successful entry for key, provided it was
+// produced under the same config hash and carries a result payload.
+func (l *Ledger) Completed(key, configHash string) (Entry, bool) {
+	if l == nil {
+		return Entry{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.done[key]
+	if !ok || e.ConfigHash != configHash || len(e.Result) == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Append writes one entry and syncs the file, so an entry either made
+// it to stable storage or the torn line is discarded on resume.
+func (l *Ledger) Append(e Entry) error {
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// HashConfig fingerprints an arbitrary configuration value by hashing
+// its JSON encoding (map keys are sorted by encoding/json, so the
+// encoding — and hence the hash — is deterministic). Ledger entries
+// written under a different hash are ignored on resume, so a campaign
+// whose configuration changed re-runs everything instead of silently
+// mixing results from two configurations.
+func HashConfig(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runner: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]), nil
+}

@@ -1,0 +1,289 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okJob(key string, v int) Job[int] {
+	return Job[int]{Key: key, Run: func(context.Context) (int, error) { return v, nil }}
+}
+
+func failJob(key, msg string) Job[int] {
+	return Job[int]{Key: key, Run: func(context.Context) (int, error) {
+		return 0, errors.New(msg)
+	}}
+}
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	var jobs []Job[int]
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, okJob(fmt.Sprintf("j%02d", i), i*i))
+	}
+	res, err := Run(context.Background(), Config{Parallel: 8}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Key != jobs[i].Key || r.Value != i*i || r.Attempts != 1 || r.Err != nil {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+// TestDeterministicErrorOrder is the regression test for the old
+// fan-out's first-goroutine-into-the-channel error selection: with two
+// failing jobs racing on a parallel pool, the aggregated error string
+// must be byte-identical across 50 runs.
+func TestDeterministicErrorOrder(t *testing.T) {
+	var first string
+	for run := 0; run < 50; run++ {
+		jobs := []Job[int]{
+			okJob("a", 1),
+			failJob("b", "boom-b"),
+			okJob("c", 2),
+			failJob("d", "boom-d"),
+			okJob("e", 3),
+		}
+		_, err := Run(context.Background(), Config{Parallel: 5}, jobs)
+		if err == nil {
+			t.Fatal("campaign with failing jobs returned nil error")
+		}
+		if run == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "b: boom-b") || !strings.Contains(first, "d: boom-d") {
+				t.Fatalf("error missing failures: %q", first)
+			}
+			if strings.Index(first, "b: boom-b") > strings.Index(first, "d: boom-d") {
+				t.Fatalf("failures not in submission order: %q", first)
+			}
+			continue
+		}
+		if got := err.Error(); got != first {
+			t.Fatalf("run %d error diverged:\n%q\nvs\n%q", run, got, first)
+		}
+	}
+}
+
+// TestFailFastStopsDispatch: with the first job poisoned and the rest
+// slow, fail-fast must cancel dispatch long before the 50-job campaign
+// is exhausted.
+func TestFailFastStopsDispatch(t *testing.T) {
+	var started atomic.Int64
+	jobs := []Job[int]{{Key: "poison", Run: func(context.Context) (int, error) {
+		return 0, errors.New("poisoned")
+	}}}
+	for i := 1; i < 50; i++ {
+		jobs = append(jobs, Job[int]{Key: fmt.Sprintf("slow%02d", i), Run: func(context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			return 1, nil
+		}})
+	}
+	cfg := Config{
+		Parallel: 2,
+		FailFast: true,
+		OnStart:  func(string, int) { started.Add(1) },
+	}
+	res, err := Run(context.Background(), cfg, jobs)
+	if err == nil {
+		t.Fatal("poisoned fail-fast campaign returned nil error")
+	}
+	var ce *CampaignError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type %T", err)
+	}
+	if n := started.Load(); n >= 25 {
+		t.Fatalf("fail-fast still started %d of 50 jobs", n)
+	}
+	notRun := 0
+	for _, r := range res {
+		if errors.Is(r.Err, ErrNotRun) {
+			notRun++
+		}
+	}
+	if notRun == 0 {
+		t.Fatal("no jobs marked ErrNotRun despite fail-fast cancellation")
+	}
+	if ce.NotRun == 0 {
+		t.Fatal("CampaignError.NotRun not populated")
+	}
+}
+
+// TestRunToCompletionIsDefault: without fail-fast, a failure must not
+// stop the remaining jobs.
+func TestRunToCompletionIsDefault(t *testing.T) {
+	var started atomic.Int64
+	jobs := []Job[int]{failJob("poison", "poisoned")}
+	for i := 1; i < 10; i++ {
+		jobs = append(jobs, okJob(fmt.Sprintf("j%d", i), i))
+	}
+	_, err := Run(context.Background(), Config{Parallel: 2, OnStart: func(string, int) { started.Add(1) }}, jobs)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	if n := started.Load(); n != 10 {
+		t.Fatalf("run-to-completion started %d of 10 jobs", n)
+	}
+}
+
+// TestPanicIsolation: a panicking job must surface as a typed
+// *RunPanicError without wedging the pool (this test completing at all
+// is the no-deadlock assertion).
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job[int]{
+		okJob("a", 1),
+		{Key: "bad", Run: func(context.Context) (int, error) { panic("constructor exploded") }},
+		okJob("c", 3),
+	}
+	res, err := Run(context.Background(), Config{Parallel: 3}, jobs)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	var pe *RunPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no *RunPanicError in %v", err)
+	}
+	if pe.Key != "bad" || fmt.Sprint(pe.Value) != "constructor exploded" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatal("healthy jobs infected by the panic")
+	}
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("result error = %v", res[1].Err)
+	}
+}
+
+func TestPanicIsNotRetried(t *testing.T) {
+	var runs atomic.Int64
+	jobs := []Job[int]{{Key: "bad", Run: func(context.Context) (int, error) {
+		runs.Add(1)
+		panic("again")
+	}}}
+	_, err := Run(context.Background(), Config{Retries: 3, sleep: func(time.Duration) {}}, jobs)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("panicking job ran %d times", runs.Load())
+	}
+}
+
+func TestRetryWithDeterministicBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	var slept []time.Duration
+	jobs := []Job[int]{{Key: "flaky", Run: func(context.Context) (int, error) {
+		if attempts.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	}}}
+	cfg := Config{
+		Retries: 5,
+		Backoff: 10 * time.Millisecond,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	res, err := Run(context.Background(), cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value != 7 || res[0].Attempts != 3 {
+		t.Fatalf("result = %+v", res[0])
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	jobs := []Job[int]{{Key: "hopeless", Run: func(context.Context) (int, error) {
+		attempts.Add(1)
+		return 0, errors.New("always")
+	}}}
+	res, err := Run(context.Background(), Config{Retries: 2, sleep: func(time.Duration) {}}, jobs)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if attempts.Load() != 3 || res[0].Attempts != 3 {
+		t.Fatalf("attempts = %d (result %d), want 3", attempts.Load(), res[0].Attempts)
+	}
+}
+
+func TestRetryablePredicate(t *testing.T) {
+	var attempts atomic.Int64
+	jobs := []Job[int]{{Key: "fatal", Run: func(context.Context) (int, error) {
+		attempts.Add(1)
+		return 0, errors.New("fatal: do not retry")
+	}}}
+	cfg := Config{
+		Retries:   5,
+		Retryable: func(err error) bool { return !strings.Contains(err.Error(), "fatal") },
+		sleep:     func(time.Duration) {},
+	}
+	if _, err := Run(context.Background(), cfg, jobs); err == nil {
+		t.Fatal("want error")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("non-retryable error retried: %d attempts", attempts.Load())
+	}
+}
+
+func TestPerAttemptDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job[int]{{Key: "hung", Run: func(context.Context) (int, error) {
+		<-release // simulates a wedged run; the attempt goroutine is abandoned
+		return 0, nil
+	}}}
+	cfg := Config{Timeout: 20 * time.Millisecond, Retryable: func(error) bool { return false }}
+	_, err := Run(context.Background(), cfg, jobs)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("error = %v, want *DeadlineError", err)
+	}
+	if de.Key != "hung" || de.Timeout != cfg.Timeout {
+		t.Fatalf("deadline error = %+v", de)
+	}
+}
+
+func TestExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job[int]{okJob("a", 1), okJob("b", 2)}
+	_, err := Run(ctx, Config{}, jobs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, []Job[int]{okJob("x", 1), okJob("x", 2)}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestDoneCallbackOrderAndThread(t *testing.T) {
+	var order []string // appended from Done: must be safe without locks
+	var jobs []Job[int]
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("j%02d", i)
+		jobs = append(jobs, Job[int]{
+			Key:  key,
+			Run:  func(context.Context) (int, error) { return 0, nil },
+			Done: func(r Result[int]) { order = append(order, r.Key) },
+		})
+	}
+	if _, err := Run(context.Background(), Config{Parallel: 4}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 12 {
+		t.Fatalf("Done fired %d times, want 12", len(order))
+	}
+}

@@ -360,23 +360,42 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		return !finished
 	})
 
-	// Time-series sampling.
+	// Time-series sampling. Windows tile [0, Runtime] exactly: the
+	// ticker records full SampleInterval windows while the workload
+	// runs, and flushTail records the final partial window at workload
+	// end, scaled to its true width. Without the flush, a runtime that
+	// is not a multiple of SampleInterval either dropped the tail
+	// activity from Result.Series or diluted it over a trailing ticker
+	// window extending past the workload's end.
 	var prevSample hmc.Counters
-	eng.EveryNamed(cfg.SampleInterval, "sampler", func(now units.Time) bool {
+	var lastSampleAt units.Time
+	sample := func(now, dt units.Time) {
 		ctr := cube.Counters()
 		d := deltaCounters(ctr, prevSample)
 		prevSample = ctr
-		rate := units.OpsPerNs(float64(d.PIMOps) / cfg.SampleInterval.Nanoseconds())
+		rate := units.OpsPerNs(float64(d.PIMOps) / dt.Nanoseconds())
 		pimRateHist.Observe(float64(rate))
 		res.Series = append(res.Series, Sample{
 			At:       now,
 			PIMRate:  rate,
-			ExtBW:    units.BytesPerSecond(float64(d.ExtDataBytes) / cfg.SampleInterval.Seconds()),
+			ExtBW:    units.BytesPerSecond(float64(d.ExtDataBytes) / dt.Seconds()),
 			PeakDRAM: model.PeakDRAM(),
 			PoolSize: poolSize(),
 		})
-		return !finished
+		lastSampleAt = now
+	}
+	eng.EveryNamed(cfg.SampleInterval, "sampler", func(now units.Time) bool {
+		if finished {
+			return false
+		}
+		sample(now, cfg.SampleInterval)
+		return true
 	})
+	flushTail := func(now units.Time) {
+		if dt := now - lastSampleAt; dt > 0 {
+			sample(now, dt)
+		}
+	}
 
 	// Telemetry time series: windowed offload rate / external bandwidth,
 	// live temperature and pool size, aligned on the telemetry cadence.
@@ -413,6 +432,7 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		if !ok {
 			finished = true
 			res.Runtime = eng.Now()
+			flushTail(res.Runtime)
 			return
 		}
 		res.Launches++
@@ -430,6 +450,7 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	}
 	if res.Shutdown {
 		res.Runtime = eng.Now()
+		flushTail(res.Runtime)
 	}
 
 	ctr := cube.Counters()

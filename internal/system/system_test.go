@@ -1,6 +1,7 @@
 package system
 
 import (
+	"math"
 	"testing"
 
 	"coolpim/internal/core"
@@ -171,6 +172,48 @@ func TestSeriesSamplesAreConsistent(t *testing.T) {
 		if s.PIMRate < 0 || s.PeakDRAM < 20 {
 			t.Fatalf("implausible sample %+v", s)
 		}
+	}
+}
+
+// TestSamplerFlushesTailWindow pins the fix for the dropped final
+// partial sampling window: with a sampling period that does not divide
+// the runtime, the series must end exactly at Runtime with a final
+// sample scaled to the partial window's true width, and the windowed
+// rates must reconstruct the run totals.
+func TestSamplerFlushesTailWindow(t *testing.T) {
+	cfg := thrashCfg()
+	// A deliberately awkward period: prime in nanoseconds, so no
+	// realistic runtime is a multiple of it.
+	cfg.SampleInterval = 7309 * units.Nanosecond
+	res := mustRun(t, "dc", core.NaiveOffloading, cfg)
+	if len(res.Series) < 2 {
+		t.Fatalf("run too short to sample: %d samples", len(res.Series))
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.At != res.Runtime {
+		t.Fatalf("series ends at %v, runtime is %v: tail window dropped", last.At, res.Runtime)
+	}
+	if res.Runtime%cfg.SampleInterval == 0 {
+		t.Fatalf("runtime %v is a multiple of the sample interval; test lost its awkward ratio", res.Runtime)
+	}
+	// The windows tile [0, Runtime]: integrating rate and bandwidth
+	// over them must recover the run totals.
+	var ops, bytes float64
+	var prev units.Time
+	for i, s := range res.Series {
+		dt := s.At - prev
+		if dt <= 0 {
+			t.Fatalf("sample %d: non-positive window %v", i, dt)
+		}
+		ops += float64(s.PIMRate) * dt.Nanoseconds()
+		bytes += float64(s.ExtBW) * dt.Seconds()
+		prev = s.At
+	}
+	if diff := math.Abs(ops - float64(res.PIMOps)); diff > 0.5 {
+		t.Errorf("windowed rates reconstruct %.2f PIM ops, run total %d", ops, res.PIMOps)
+	}
+	if diff := math.Abs(bytes - float64(res.ExtDataBytes)); diff > 0.5 {
+		t.Errorf("windowed bandwidth reconstructs %.2f bytes, run total %d", bytes, res.ExtDataBytes)
 	}
 }
 

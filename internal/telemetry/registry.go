@@ -147,6 +147,22 @@ func LinearBounds(start, step float64, n int) []float64 {
 	return out
 }
 
+// ExponentialBounds returns n upper bounds start, start*factor, ... —
+// the natural bucket layout for wall-clock durations, whose interesting
+// range spans orders of magnitude. factor must be > 1.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic(fmt.Sprintf("telemetry: invalid exponential bounds (start=%g, factor=%g)", start, factor))
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
 // Observe records one value. Nil-safe so call sites can stay unguarded
 // when telemetry is disabled.
 func (h *Histogram) Observe(v float64) {

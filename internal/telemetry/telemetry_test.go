@@ -9,6 +9,32 @@ import (
 	"coolpim/internal/units"
 )
 
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBounds(0, 2, 3) },
+		func() { ExponentialBounds(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid exponential bounds accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
 func TestHistogramPercentiles(t *testing.T) {
 	reg := NewRegistry()
 	// Buckets 10,20,...,100; observe 1..100 uniformly.
