@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check sweep-smoke clean
+.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check sweep-smoke obs-smoke clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -81,15 +81,25 @@ figs-check:
 # resumed campaign must reuse exactly the two completed cells.
 sweep-smoke:
 	$(GO) build -o bin/coolpim-sweep ./cmd/coolpim-sweep
-	rm -f bin/sweep-smoke.ledger
+	rm -f bin/sweep-smoke.ledger bin/sweep-smoke.prom
 	bin/coolpim-sweep -profile test -workloads dc,pagerank -policies baseline,naive \
-		-parallel 2 -ledger bin/sweep-smoke.ledger -interrupt-after 2; \
+		-parallel 2 -ledger bin/sweep-smoke.ledger -metrics-out bin/sweep-smoke.prom \
+		-interrupt-after 2; \
 	status=$$?; if [ $$status -ne 3 ]; then \
 		echo "expected interrupt exit 3, got $$status"; exit 1; fi
+	grep -q '^runner_jobs_completed_total 2' bin/sweep-smoke.prom \
+		|| { echo "interrupted campaign left stale metrics:"; cat bin/sweep-smoke.prom; exit 1; }
 	bin/coolpim-sweep -profile test -workloads dc,pagerank -policies baseline,naive \
 		-parallel 2 -ledger bin/sweep-smoke.ledger -resume \
 		| tee /dev/stderr | grep -q "executed 2, from ledger 2, failed 0"
 	@echo "sweep-smoke OK"
+
+# obs-smoke exercises the live observability plane end to end: a short
+# sim with the diagnostics HTTP server held open, /metrics + /healthz +
+# /spans fetched live, and the Chrome trace export validated as
+# trace_event JSON (see scripts/obs_smoke.sh).
+obs-smoke:
+	scripts/obs_smoke.sh
 
 clean:
 	rm -f BENCH_full_*.json trace.jsonl metrics.prom series.csv

@@ -10,10 +10,18 @@
 // metrics registry in Prometheus text format. A human-readable telemetry
 // summary table is printed after the run statistics.
 //
+// The live observability plane adds: -spans-out (hierarchical span tree
+// as JSONL), -trace-chrome (Chrome/Perfetto trace_event JSON — open in
+// https://ui.perfetto.dev), -flight-out (flight-recorder ring dump; also
+// written on panic or SIGQUIT), and -diag-addr, which serves /metrics,
+// /healthz, /spans and /debug/pprof over HTTP while the run executes
+// (-diag-hold keeps the server up after the run finishes).
+//
 // Example:
 //
 //	coolpim-sim -workload pagerank -policy coolpim-hw -scale 15 -cooling commodity \
-//	    -trace-out trace.jsonl -metrics-out metrics.prom
+//	    -trace-out trace.jsonl -metrics-out metrics.prom \
+//	    -diag-addr 127.0.0.1:8787 -trace-chrome trace.json
 package main
 
 import (
@@ -21,7 +29,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"coolpim/internal/core"
@@ -30,6 +40,7 @@ import (
 	"coolpim/internal/kernels"
 	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
+	"coolpim/internal/telemetry/diagserver"
 	"coolpim/internal/thermal"
 	"coolpim/internal/units"
 )
@@ -46,6 +57,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format to this file")
 	seriesOut := flag.String("series-out", "", "write the telemetry time series as CSV to this file")
 	sampleEvery := flag.Duration("sample-every", 100*time.Microsecond, "telemetry time-series sampling period (simulated time)")
+	spansOut := flag.String("spans-out", "", "write the span tree as JSONL to this file")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome/Perfetto trace_event JSON file (open in ui.perfetto.dev)")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder ring to this file (also dumped on panic or SIGQUIT)")
+	diagAddr := flag.String("diag-addr", "", "serve live diagnostics over HTTP on this address (e.g. 127.0.0.1:8787 or 127.0.0.1:0)")
+	diagHold := flag.Duration("diag-hold", 0, "keep the diagnostics server up this long after the run completes")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -74,10 +90,55 @@ func main() {
 	cfg.Cooling = cool
 
 	var tel *telemetry.Telemetry
-	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" ||
+		*spansOut != "" || *traceChrome != "" || *flightOut != "" || *diagAddr != "" {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
 		cfg.TelemetrySample = units.FromNanoseconds(float64(sampleEvery.Nanoseconds()))
+		tel.Spans.SetWallClock(func() int64 { return time.Now().UnixNano() })
+		tel.RunID = fmt.Sprintf("%s/%s", *workload, *policy)
+	}
+	if tel.Enabled() && (*flightOut != "" || *diagAddr != "") {
+		tel.Flight = telemetry.NewFlightRecorder(0)
+	}
+
+	var diag *diagserver.Server
+	if *diagAddr != "" {
+		var err error
+		diag, err = diagserver.New(*diagAddr)
+		if err != nil {
+			fatalf("diag: %v", err)
+		}
+		defer diag.Close()
+		tel.Sink = diag
+		fmt.Printf("diag: serving on http://%s (endpoints: /metrics /healthz /spans /debug/pprof)\n", diag.Addr())
+	}
+
+	// A wedged or crashing run should still ship its evidence: SIGQUIT
+	// dumps the flight ring without killing the process state first, and
+	// a panic dumps it before the stack unwinds past main.
+	if tel.Enabled() && tel.Flight != nil {
+		flightPath := *flightOut
+		if flightPath == "" {
+			flightPath = "coolpim-sim.flight.jsonl"
+		}
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if err := tel.Flight.DumpFile(flightPath); err == nil {
+					fmt.Fprintf(os.Stderr, "flight: dumped ring to %s (SIGQUIT)\n", flightPath)
+				}
+			}
+		}()
+		defer func() {
+			if r := recover(); r != nil {
+				if err := tel.Flight.DumpFile(flightPath); err == nil {
+					fmt.Fprintf(os.Stderr, "flight: dumped ring to %s (panic)\n", flightPath)
+				}
+				panic(r)
+			}
+		}()
 	}
 
 	fmt.Printf("generating LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
@@ -102,6 +163,24 @@ func main() {
 		writeExport(*traceOut, "trace", tel.Tracer.WriteJSONL)
 		writeExport(*metricsOut, "metrics", tel.Registry.WritePrometheus)
 		writeExport(*seriesOut, "series", tel.Series.WriteCSV)
+		writeExport(*spansOut, "spans", tel.Spans.WriteJSONL)
+		writeExport(*traceChrome, "chrome trace", func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, tel.Spans.Export(), tel.Tracer.Events())
+		})
+		if *flightOut != "" {
+			writeExport(*flightOut, "flight ring", tel.Flight.WriteJSONL)
+		}
+	}
+
+	if diag != nil && *diagHold > 0 {
+		fmt.Printf("diag: holding server for %v (ctrl-c to stop early)\n", *diagHold)
+		hold := time.NewTimer(*diagHold)
+		intr := make(chan os.Signal, 1)
+		signal.Notify(intr, os.Interrupt)
+		select {
+		case <-hold.C:
+		case <-intr:
+		}
 	}
 }
 

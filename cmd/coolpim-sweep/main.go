@@ -10,6 +10,14 @@
 //	              [-parallel N] [-timeout 10m] [-retries 2] [-backoff 1s]
 //	              [-fail-fast] [-ledger runs.jsonl] [-resume]
 //	              [-out report.txt] [-metrics-out metrics.prom] [-v]
+//	              [-diag-addr 127.0.0.1:8787] [-flight-dir dumps/]
+//
+// -metrics-out is flushed atomically (write-to-temp + rename) after
+// every completed run, so a killed campaign still leaves a consistent
+// metrics file behind. -diag-addr serves the campaign's live state over
+// HTTP: /metrics, /healthz, /runs (per-cell status) and /debug/pprof.
+// -flight-dir makes panicking or deadline-blown cells dump their flight
+// recorder rings there for post-mortem.
 //
 // Exit codes: 0 success, 1 campaign failure, 2 usage error,
 // 3 interrupted (test hook).
@@ -22,14 +30,17 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
 	runnerpkg "coolpim/internal/runner"
 	"coolpim/internal/telemetry"
+	"coolpim/internal/telemetry/diagserver"
 )
 
 func main() {
@@ -51,6 +62,8 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "write campaign metrics (Prometheus text format) here")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	interruptAfter := flag.Int("interrupt-after", 0, "test hook: exit(3) after N executed runs, simulating a mid-campaign kill")
+	diagAddr := flag.String("diag-addr", "", "serve live campaign diagnostics over HTTP on this address")
+	flightDir := flag.String("flight-dir", "", "dump the flight ring of panicking/deadline-blown runs into this directory")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -92,7 +105,15 @@ func run() int {
 		}
 	}
 
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "flight-dir:", err)
+			return 1
+		}
+	}
+
 	tel := telemetry.New()
+	tel.Spans.SetWallClock(func() int64 { return time.Now().UnixNano() })
 	opts := experiments.MatrixOpts{
 		Workloads: workloads,
 		Policies:  policies,
@@ -103,12 +124,46 @@ func run() int {
 		FailFast:  *failFast,
 		Ledger:    ledger,
 		Telemetry: tel,
+		FlightDir: *flightDir,
 	}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+
+	var diag *diagserver.Server
+	var runStarts sync.Map // key -> time.Time, written from worker goroutines
+	if *diagAddr != "" {
+		var err error
+		diag, err = diagserver.New(*diagAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diag:", err)
+			return 1
+		}
+		defer diag.Close()
+		tel.Sink = diag
+		tel.RunID = "sweep/" + prof.Name
+		fmt.Fprintf(os.Stderr, "diag: serving on http://%s (endpoints: /metrics /healthz /runs /spans /debug/pprof)\n", diag.Addr())
+		opts.OnRunStart = func(key string, attempt int) {
+			runStarts.Store(key, time.Now())
+			diag.Runs().Started(key, attempt)
+		}
+	}
+
 	var executed, fromLedger, failed int
 	opts.OnRunDone = func(key string, err error, ledgered bool) {
+		if diag != nil {
+			var wall time.Duration
+			if t0, ok := runStarts.Load(key); ok {
+				wall = time.Since(t0.(time.Time))
+			}
+			diag.Runs().Finished(key, err, ledgered, wall)
+			tel.Publish(0)
+		}
+		// Flush metrics after every completion so a killed campaign
+		// still leaves a consistent (atomically renamed) metrics file.
+		if merr := writeMetrics(*metricsOut, tel); merr != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", merr)
+		}
 		switch {
 		case ledgered:
 			fromLedger++
@@ -118,8 +173,9 @@ func run() int {
 			executed++
 			if *interruptAfter > 0 && executed >= *interruptAfter {
 				// The run's ledger entry is durable (appended and fsynced
-				// before this callback); exiting here simulates a kill
-				// arriving mid-campaign.
+				// before this callback), and the metrics flush above has
+				// landed; exiting here simulates a kill arriving
+				// mid-campaign.
 				fmt.Fprintf(os.Stderr, "interrupt-after: stopping after %d executed runs\n", executed)
 				os.Exit(3)
 			}
@@ -176,16 +232,28 @@ func splitList(s string) []string {
 	return out
 }
 
+// writeMetrics dumps the campaign registry atomically: the text is
+// rendered into a temp file in the destination directory and renamed
+// over the target, so readers (and a mid-campaign kill) never observe a
+// half-written file.
 func writeMetrics(path string, tel *telemetry.Telemetry) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return tel.Registry.WritePrometheus(f)
+	if err := tel.Registry.WritePrometheus(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // report prints the campaign results as one table per metric family,

@@ -1,0 +1,149 @@
+// Command coolpim-trace converts the simulator's JSONL telemetry
+// exports into a Chrome/Perfetto trace_event JSON file, and provides
+// two small helpers the observability smoke test is built on.
+//
+// Modes (exactly one):
+//
+//	coolpim-trace -events trace.jsonl [-spans spans.jsonl] -out trace.json
+//	    Convert an event trace and/or span tree (as written by
+//	    coolpim-sim -trace-out / -spans-out) into trace_event JSON.
+//	    Open the result in https://ui.perfetto.dev or chrome://tracing.
+//
+//	coolpim-trace -check trace.json
+//	    Validate that a file parses as a trace_event array: every entry
+//	    must carry string "name" and "ph" fields and numeric "ts",
+//	    "pid" and "tid" fields. Exit 0 when valid, 1 when not.
+//
+//	coolpim-trace -get http://addr/path
+//	    Fetch a URL and copy the body to stdout (exit 1 on transport
+//	    error or non-2xx status). Exists so the smoke test does not
+//	    depend on curl being installed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"coolpim/internal/telemetry"
+)
+
+func main() {
+	eventsPath := flag.String("events", "", "event trace JSONL (from coolpim-sim -trace-out)")
+	spansPath := flag.String("spans", "", "span tree JSONL (from coolpim-sim -spans-out)")
+	outPath := flag.String("out", "", "output trace_event JSON path (default stdout)")
+	checkPath := flag.String("check", "", "validate a trace_event JSON file instead of converting")
+	getURL := flag.String("get", "", "fetch a URL and copy the body to stdout instead of converting")
+	flag.Parse()
+
+	switch {
+	case *getURL != "":
+		if err := get(*getURL); err != nil {
+			fatalf("get %s: %v", *getURL, err)
+		}
+	case *checkPath != "":
+		n, err := check(*checkPath)
+		if err != nil {
+			fatalf("check %s: %v", *checkPath, err)
+		}
+		fmt.Printf("ok: %d trace events\n", n)
+	case *eventsPath != "" || *spansPath != "":
+		if err := convert(*eventsPath, *spansPath, *outPath); err != nil {
+			fatalf("convert: %v", err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -events/-spans, -check, or -get (see -h)")
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func convert(eventsPath, spansPath, outPath string) error {
+	var events []telemetry.Event
+	var spans []telemetry.SpanExport
+	if eventsPath != "" {
+		f, err := os.Open(eventsPath)
+		if err != nil {
+			return err
+		}
+		events, err = telemetry.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", eventsPath, err)
+		}
+	}
+	if spansPath != "" {
+		f, err := os.Open(spansPath)
+		if err != nil {
+			return err
+		}
+		spans, err = telemetry.ParseSpansJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spansPath, err)
+		}
+	}
+	out := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := telemetry.WriteChromeTrace(out, spans, events); err != nil {
+		return err
+	}
+	if outPath != "" {
+		fmt.Printf("wrote %d spans + %d events to %s\n", len(spans), len(events), outPath)
+	}
+	return nil
+}
+
+// check validates the trace_event shape: a JSON array whose entries all
+// carry string name/ph and numeric ts/pid/tid.
+func check(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, fmt.Errorf("not a trace_event array: %w", err)
+	}
+	for i, e := range entries {
+		for _, k := range []string{"name", "ph"} {
+			if _, ok := e[k].(string); !ok {
+				return 0, fmt.Errorf("entry %d: missing string %q field", i, k)
+			}
+		}
+		for _, k := range []string{"ts", "pid", "tid"} {
+			if _, ok := e[k].(float64); !ok {
+				return 0, fmt.Errorf("entry %d: missing numeric %q field", i, k)
+			}
+		}
+	}
+	return len(entries), nil
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %s: %s", resp.Status, body)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

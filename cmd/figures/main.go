@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"coolpim/internal/core"
 	"coolpim/internal/dram"
 	"coolpim/internal/experiments"
 	"coolpim/internal/runner"
+	"coolpim/internal/telemetry"
+	"coolpim/internal/telemetry/diagserver"
 	"coolpim/internal/units"
 )
 
@@ -33,6 +36,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	ledgerPath := flag.String("ledger", "", "JSONL run ledger for the system matrix (checkpointing)")
 	resume := flag.Bool("resume", false, "reuse completed matrix runs from the ledger (requires -ledger)")
+	diagAddr := flag.String("diag-addr", "", "serve live matrix diagnostics over HTTP on this address")
 	flag.Parse()
 
 	if *resume && *ledgerPath == "" {
@@ -83,12 +87,32 @@ func main() {
 			}
 			defer ledger.Close()
 		}
-		var err error
-		rows, err = experiments.RunMatrixOpts(context.Background(), prof, experiments.MatrixOpts{
+		opts := experiments.MatrixOpts{
 			Parallel: 1,
 			Ledger:   ledger,
 			Progress: progress,
-		})
+		}
+		if *diagAddr != "" {
+			diag, err := diagserver.New(*diagAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diag:", err)
+				os.Exit(1)
+			}
+			defer diag.Close()
+			tel := telemetry.New()
+			tel.Spans.SetWallClock(func() int64 { return time.Now().UnixNano() })
+			tel.Sink = diag
+			tel.RunID = "figures/" + prof.Name
+			opts.Telemetry = tel
+			fmt.Fprintf(os.Stderr, "diag: serving on http://%s (endpoints: /metrics /healthz /runs /spans /debug/pprof)\n", diag.Addr())
+			opts.OnRunStart = func(key string, attempt int) { diag.Runs().Started(key, attempt) }
+			opts.OnRunDone = func(key string, err error, fromLedger bool) {
+				diag.Runs().Finished(key, err, fromLedger, 0)
+				tel.Publish(0)
+			}
+		}
+		var err error
+		rows, err = experiments.RunMatrixOpts(context.Background(), prof, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matrix failed:", err)
 			os.Exit(1)

@@ -38,11 +38,13 @@ const telemetryPkg = "coolpim/internal/telemetry"
 // are exempt by design: registration happens once at wiring time and
 // panics loudly, and counters are only handed out non-nil.
 var instruments = map[string]bool{
-	"Telemetry":     true,
-	"Tracer":        true,
-	"Series":        true,
-	"Histogram":     true,
-	"EngineProfile": true,
+	"Telemetry":      true,
+	"Tracer":         true,
+	"Series":         true,
+	"Histogram":      true,
+	"EngineProfile":  true,
+	"SpanTracer":     true,
+	"FlightRecorder": true,
 }
 
 func run(pass *analysis.Pass) error {

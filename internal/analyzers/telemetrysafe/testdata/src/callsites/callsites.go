@@ -27,3 +27,19 @@ func hub(h *telemetry.Telemetry, at units.Time, v int) {
 		h.Tracer.Emit(at, telemetry.EvPhase, fmt.Sprintf(`"v":%d`, v)) // ok: behind an Enabled() guard
 	}
 }
+
+func spans(st *telemetry.SpanTracer, at units.Time, key string) {
+	st.Name("job:" + key) // want `non-constant string concatenation`
+	st.Name("thermal.tick") // ok: constant name
+	n := st.Name(key)       // ok: plain value argument
+	st.StartSpan(at, n)
+
+	if st != nil {
+		st.Name("job:" + key) // ok: behind an explicit nil guard
+	}
+}
+
+func flight(fr *telemetry.FlightRecorder, at units.Time, temp float64) {
+	fr.Record(at, "thermal", fmt.Sprintf(`"temp_c":%.2f`, temp)) // want `fmt.Sprintf call is evaluated before FlightRecorder.Record`
+	fr.Record(at, "thermal", `"temp_c":85`)                      // ok: constant payload
+}

@@ -46,3 +46,35 @@ type Registry struct{ names map[string]bool }
 
 // Claim may assume a live registry.
 func (r *Registry) Claim(name string) { r.names[name] = true }
+
+// SpanTracer mimics the span-tracing instrument: same nil-is-disabled
+// contract as Tracer.
+type SpanTracer struct{ spans int }
+
+// Name is guarded: ok.
+func (t *SpanTracer) Name(s string) int {
+	if t == nil {
+		return 0
+	}
+	t.spans++
+	return t.spans
+}
+
+func (t *SpanTracer) StartSpan(name int) { // want `exported SpanTracer.StartSpan must begin with`
+	t.spans++
+}
+
+// FlightRecorder mimics the crash-dump ring: nil means not recording.
+type FlightRecorder struct{ n int }
+
+// Record is guarded: ok.
+func (f *FlightRecorder) Record(kind string) {
+	if f == nil {
+		return
+	}
+	f.n++
+}
+
+func (f *FlightRecorder) Dump() int { // want `exported FlightRecorder.Dump must begin with`
+	return f.n
+}

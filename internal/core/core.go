@@ -241,6 +241,10 @@ type SWDynT struct {
 	// Trace, if set, receives pool.resize events for every control
 	// update. Nil disables tracing at zero cost.
 	Trace *telemetry.Tracer
+	// Spans, if set, records one "throttle.react.sw" span per accepted
+	// warning, from warning delivery to the applied control update — the
+	// causal edge closing the paper's feedback loop.
+	Spans *telemetry.SpanTracer
 }
 
 // NewSWDynT builds the software mechanism with an already-initialized
@@ -266,11 +270,13 @@ func (s *SWDynT) OnThermalWarning(now units.Time) {
 	if !ok {
 		return
 	}
+	sp := s.Spans.StartSpan(now, s.Spans.Name("throttle.react.sw"))
 	s.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
 		before := s.pool.Size()
 		s.pool.Reduce(s.cfg.ControlFactor)
 		s.gate.applied(at)
 		s.Trace.PoolResize(at, "sw-ptp", before, s.pool.Size(), "warning")
+		sp.End(at)
 	})
 }
 
@@ -316,6 +322,9 @@ type HWDynT struct {
 	// Trace, if set, receives pool.resize events (with the aggregate
 	// PIM-enabled warp count across all PCUs) for every control update.
 	Trace *telemetry.Tracer
+	// Spans, if set, records one "throttle.react.hw" span per accepted
+	// warning, from warning delivery to the applied control update.
+	Spans *telemetry.SpanTracer
 }
 
 // NewHWDynT builds the hardware mechanism. Every PCU starts with all
@@ -376,6 +385,7 @@ func (h *HWDynT) OnThermalWarning(now units.Time) {
 	if !ok {
 		return
 	}
+	sp := h.Spans.StartSpan(now, h.Spans.Name("throttle.react.hw"))
 	h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
 		before := totalLimit(h.pcus)
 		for i := range h.pcus {
@@ -383,6 +393,7 @@ func (h *HWDynT) OnThermalWarning(now units.Time) {
 		}
 		h.gate.applied(at)
 		h.Trace.PoolResize(at, "hw-pcu", before, totalLimit(h.pcus), "warning")
+		sp.End(at)
 	})
 }
 

@@ -61,6 +61,9 @@ type MultiLevelHWDynT struct {
 	// Trace, if set, receives pool.resize events (reason "warning" or
 	// "critical") for every control update.
 	Trace *telemetry.Tracer
+	// Spans, if set, records one "throttle.react.hw" (normal) or
+	// "throttle.react.critical" (emergency) span per accepted warning.
+	Spans *telemetry.SpanTracer
 }
 
 // NewMultiLevelHWDynT builds the extended hardware mechanism.
@@ -100,11 +103,13 @@ func (h *MultiLevelHWDynT) OnWarning(now units.Time, level WarningLevel) {
 		if !ok {
 			return
 		}
+		sp := h.Spans.StartSpan(now, h.Spans.Name("throttle.react.critical"))
 		h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
 			h.reduce(at, h.cfg.CriticalFactor, "critical")
 			h.critGate.applied(at)
 			// An emergency step satisfies the normal loop too.
 			h.gate.lockout(at)
+			sp.End(at)
 		})
 		return
 	}
@@ -112,9 +117,11 @@ func (h *MultiLevelHWDynT) OnWarning(now units.Time, level WarningLevel) {
 	if !ok {
 		return
 	}
+	sp := h.Spans.StartSpan(now, h.Spans.Name("throttle.react.hw"))
 	h.eng.AtNamed(applyAt, "throttle", func(at units.Time) {
 		h.reduce(at, h.cfg.HWControlFactor, "warning")
 		h.gate.applied(at)
+		sp.End(at)
 	})
 }
 

@@ -171,6 +171,11 @@ type MatrixOpts struct {
 	// Telemetry receives campaign-level metrics (per-run wall timing,
 	// queue depth); it is distinct from the per-run Sys.Telemetry hook.
 	Telemetry *telemetry.Telemetry
+	// FlightDir, if non-empty, gives every cell its own flight recorder
+	// (riding a per-cell telemetry when Sys.Telemetry is nil); a cell
+	// that panics or blows its deadline dumps the recorder's last
+	// events to <FlightDir>/<key>.flight.jsonl for post-mortem.
+	FlightDir string
 	// Progress, if non-nil, receives one line per completed run, on the
 	// caller's goroutine.
 	Progress func(string)
@@ -231,14 +236,25 @@ func RunMatrixOpts(ctx context.Context, p Profile, o MatrixOpts) ([]Row, error) 
 	for _, wl := range workloads {
 		for _, pol := range policies {
 			wl, pol := wl, pol
+			var flight *telemetry.FlightRecorder
+			if o.FlightDir != "" {
+				flight = telemetry.NewFlightRecorder(0)
+			}
 			jobs = append(jobs, runner.Job[*system.Result]{
-				Key: matrixKey(wl, pol),
+				Key:    matrixKey(wl, pol),
+				Flight: flight,
 				Run: func(context.Context) (*system.Result, error) {
 					w, err := newSized(wl, p.Reps)
 					if err != nil {
 						return nil, err
 					}
-					res, err := system.RunWorkload(w, pol, p.Sys, g)
+					sys := p.Sys
+					if flight != nil && sys.Telemetry == nil {
+						tel := telemetry.New()
+						tel.Flight = flight
+						sys.Telemetry = tel
+					}
+					res, err := system.RunWorkload(w, pol, sys, g)
 					if err != nil {
 						return nil, err
 					}
@@ -275,6 +291,7 @@ func RunMatrixOpts(ctx context.Context, p Profile, o MatrixOpts) ([]Row, error) 
 		ConfigHash: hash,
 		OnStart:    o.OnRunStart,
 		Telemetry:  o.Telemetry,
+		FlightDir:  o.FlightDir,
 	}, jobs)
 	if err != nil {
 		return nil, err

@@ -138,6 +138,7 @@ type blockState struct {
 	slot     int
 	live     int // running warps
 	kernelFn simt.KernelFunc
+	span     telemetry.Span
 }
 
 // GPU is the host processor model.
@@ -164,6 +165,14 @@ type GPU struct {
 	// Trace, if set, receives offload.accept/offload.reject events for
 	// every block-launch decision. Nil disables tracing at zero cost.
 	Trace *telemetry.Tracer
+
+	// Span wiring (SetSpans): one "gpu.kernel" span per launch, one
+	// "gpu.block.pim"/"gpu.block.nonpim" child span per thread block.
+	spans      *telemetry.SpanTracer
+	spanKernel telemetry.SpanName
+	spanPIM    telemetry.SpanName
+	spanNonPIM telemetry.SpanName
+	kernelSpan telemetry.Span
 
 	launch     *Launch
 	nextBlock  int
@@ -201,6 +210,15 @@ func New(eng *sim.Engine, space *mem.Space, cube *hmc.Cube, policy core.Policy, 
 	return g
 }
 
+// SetSpans attaches a span tracer (nil disables span recording at zero
+// cost) and pre-interns the GPU's span names.
+func (g *GPU) SetSpans(st *telemetry.SpanTracer) {
+	g.spans = st
+	g.spanKernel = st.Name("gpu.kernel")
+	g.spanPIM = st.Name("gpu.block.pim")
+	g.spanNonPIM = st.Name("gpu.block.nonpim")
+}
+
 // Stats returns the accumulated statistics.
 func (g *GPU) Stats() Stats { return g.stats }
 
@@ -227,6 +245,7 @@ func (g *GPU) RunKernel(l *Launch) {
 	g.nextBlock = 0
 	g.liveBlocks = 0
 	g.running = true
+	g.kernelSpan = g.spans.StartSpan(g.eng.Now(), g.spanKernel)
 	g.dispatch()
 }
 
@@ -295,6 +314,10 @@ func (g *GPU) startBlock(smID int) {
 		g.stats.PIMBlocks++
 	}
 	g.Trace.OffloadBlock(g.eng.Now(), isPIM, smID, g.nextBlock)
+	spanName := g.spanPIM
+	if !isPIM {
+		spanName = g.spanNonPIM
+	}
 	b := &blockState{
 		id:       g.nextBlock,
 		isPIM:    isPIM,
@@ -302,6 +325,7 @@ func (g *GPU) startBlock(smID int) {
 		slot:     slot,
 		live:     g.warpsPerBlock(),
 		kernelFn: fn,
+		span:     g.spans.StartChild(g.eng.Now(), spanName, g.kernelSpan.ID()),
 	}
 	g.nextBlock++
 
@@ -325,6 +349,7 @@ func (g *GPU) startBlock(smID int) {
 }
 
 func (g *GPU) blockDone(b *blockState, now units.Time) {
+	b.span.End(now)
 	g.policy.BlockComplete(b.isPIM)
 	s := g.sms[b.sm]
 	s.freeSlots = append(s.freeSlots, b.slot)
@@ -336,6 +361,8 @@ func (g *GPU) blockDone(b *blockState, now units.Time) {
 	}
 	if g.liveBlocks == 0 {
 		g.running = false
+		g.kernelSpan.End(now)
+		g.kernelSpan = telemetry.Span{}
 		done := g.launch.OnComplete
 		g.launch = nil
 		if done != nil {

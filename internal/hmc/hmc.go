@@ -152,6 +152,15 @@ type Cube struct {
 	// (warning raise/clear, derating phase transitions, shutdown, credit
 	// backpressure). Nil disables tracing at zero cost.
 	Trace *telemetry.Tracer
+
+	// Span wiring (SetSpans): one "hmc.read"/"hmc.write"/"hmc.pim" span
+	// per request, from submission to response delivery. System wiring
+	// rate-limits these families (SpanTracer.SetMinGap) so full-scale
+	// runs keep one representative request span per thermal tick.
+	spans     *telemetry.SpanTracer
+	spanRead  telemetry.SpanName
+	spanWrite telemetry.SpanName
+	spanPIM   telemetry.SpanName
 }
 
 // New builds a cube attached to an engine and a functional memory.
@@ -169,6 +178,15 @@ func New(eng *sim.Engine, space *mem.Space, cfg Config) *Cube {
 		c.vaults = append(c.vaults, &vault{banks: make([]dram.Bank, cfg.BanksPerVault)})
 	}
 	return c
+}
+
+// SetSpans attaches a span tracer (nil disables span recording at zero
+// cost) and pre-interns the cube's span names.
+func (c *Cube) SetSpans(st *telemetry.SpanTracer) {
+	c.spans = st
+	c.spanRead = st.Name("hmc.read")
+	c.spanWrite = st.Name("hmc.write")
+	c.spanPIM = st.Name("hmc.pim")
 }
 
 // Config returns the cube configuration.
@@ -326,6 +344,16 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 		panic(fmt.Sprintf("hmc: submit %v", req.Cmd))
 	}
 
+	var sp telemetry.Span
+	switch kind {
+	case dram.ReadAccess:
+		sp = c.spans.StartSpan(now, c.spanRead)
+	case dram.WriteAccess:
+		sp = c.spans.StartSpan(now, c.spanWrite)
+	case dram.PIMAccess:
+		sp = c.spans.StartSpan(now, c.spanPIM)
+	}
+
 	bank := &v.banks[c.bankOf(req.Addr)]
 	ctrlDone := arrive + c.cfg.CtrlOverhead
 	if free := bank.FreeAt(); free > ctrlDone {
@@ -377,6 +405,7 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 			if c.warning && !c.DisableThermalEffects {
 				resp.ErrStat = flit.ErrThermalWarning
 			}
+			sp.End(at2)
 			done(resp, at2)
 		})
 	})

@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -56,6 +57,13 @@ type Job[R any] struct {
 	// order (ledger-satisfied jobs are delivered first, in submission
 	// order, before any live run completes).
 	Done func(Result[R])
+	// Flight, if non-nil, is the job's flight recorder: when the job's
+	// final outcome is a *RunPanicError or *DeadlineError and
+	// Config.FlightDir is set, the ring is dumped to
+	// <FlightDir>/<key>.flight.jsonl so the failed cell ships its own
+	// evidence. The job's Run function is responsible for wiring the
+	// recorder into whatever it executes (e.g. via telemetry.Flight).
+	Flight *telemetry.FlightRecorder
 }
 
 // Result is one job's final outcome.
@@ -69,6 +77,9 @@ type Result[R any] struct {
 	FromLedger bool
 	// Wall is the total wall-clock time spent across all attempts.
 	Wall time.Duration
+	// FlightPath is the flight-recorder dump written for this job's
+	// panic/deadline failure ("" if none was written).
+	FlightPath string
 }
 
 // Config tunes one campaign.
@@ -105,13 +116,24 @@ type Config struct {
 	OnStart func(key string, attempt int)
 	// Telemetry, if non-nil, receives campaign metrics: per-job wall
 	// timing, completion/failure/retry counters and a queue-depth
-	// gauge. One Telemetry per campaign — instruments are registered at
+	// gauge. Its span tracer (if any) additionally records one
+	// "runner.campaign" root span and one per-job-attempt child span
+	// named by the job key, wall-stamped when a wall clock is attached.
+	// One Telemetry per campaign — instruments are registered at
 	// campaign start and names may not repeat.
 	Telemetry *telemetry.Telemetry
+	// FlightDir, if non-empty, is where panicking or deadline-exceeded
+	// jobs with a Flight recorder dump their rings (see Job.Flight).
+	FlightDir string
 
 	// sleep is the backoff clock, injectable in tests. Nil means
 	// time.Sleep.
 	sleep func(time.Duration)
+
+	// spans/campaignSpan carry the campaign span wiring into worker
+	// goroutines; set by Run.
+	spans        *telemetry.SpanTracer
+	campaignSpan telemetry.SpanID
 }
 
 // RunPanicError is a job attempt that panicked, recovered at the
@@ -217,6 +239,16 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) ([]Result[R], er
 	}
 	m := newMetrics(cfg.Telemetry, len(pending))
 	m.fromLedger(len(jobs) - len(pending))
+	// Campaign span: simulated time is meaningless at the harness level,
+	// so campaign/job spans sit at sim time 0 and carry their timing in
+	// the wall stamps (when the caller attached a wall clock).
+	var campSpan telemetry.Span
+	if cfg.Telemetry.Enabled() {
+		cfg.spans = cfg.Telemetry.Spans
+		campSpan = cfg.spans.StartRoot(0, cfg.spans.Name("runner.campaign"))
+		cfg.campaignSpan = campSpan.ID()
+		defer campSpan.End(0)
+	}
 	for i := range jobs {
 		if results[i].FromLedger && jobs[i].Done != nil {
 			jobs[i].Done(results[i])
@@ -261,6 +293,9 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) ([]Result[R], er
 		// Collector: the single goroutine that owns ledger appends,
 		// metrics updates and Done callbacks.
 		for i := range outCh {
+			if p := dumpFlight(cfg, jobs[i], results[i].Err); p != "" {
+				results[i].FlightPath = p
+			}
 			r := results[i]
 			m.jobDone(r.Err, r.Attempts, r.Wall)
 			if cfg.Ledger != nil {
@@ -291,6 +326,37 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) ([]Result[R], er
 	return results, nil
 }
 
+// dumpFlight writes a failed job's flight ring when the final error is
+// a panic or deadline and dumping is configured. Best-effort: a dump
+// that cannot be written is dropped (the job's real error must win).
+func dumpFlight[R any](cfg Config, job Job[R], err error) string {
+	if err == nil || cfg.FlightDir == "" || job.Flight == nil {
+		return ""
+	}
+	var pe *RunPanicError
+	var de *DeadlineError
+	if !errors.As(err, &pe) && !errors.As(err, &de) {
+		return ""
+	}
+	path := filepath.Join(cfg.FlightDir, sanitizeKey(job.Key)+".flight.jsonl")
+	if dumpErr := job.Flight.DumpFile(path); dumpErr != nil {
+		return ""
+	}
+	return path
+}
+
+// sanitizeKey maps a job key to a safe file-name stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+}
+
 // runJob drives one job through its attempt/retry loop.
 func runJob[R any](ctx context.Context, cfg Config, job Job[R]) Result[R] {
 	res := Result[R]{Key: job.Key}
@@ -298,7 +364,12 @@ func runJob[R any](ctx context.Context, cfg Config, job Job[R]) Result[R] {
 		if cfg.OnStart != nil {
 			cfg.OnStart(job.Key, attempt)
 		}
+		var sp telemetry.Span
+		if st := cfg.spans; st != nil {
+			sp = st.StartChild(0, st.Name(job.Key), cfg.campaignSpan)
+		}
 		v, wall, err := runAttempt(ctx, cfg, job)
+		sp.End(0)
 		res.Attempts = attempt + 1
 		res.Value, res.Err = v, err
 		res.Wall += wall

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"coolpim/internal/telemetry"
 )
 
 func okJob(key string, v int) Job[int] {
@@ -285,5 +289,144 @@ func TestDoneCallbackOrderAndThread(t *testing.T) {
 	}
 	if len(order) != 12 {
 		t.Fatalf("Done fired %d times, want 12", len(order))
+	}
+}
+
+// TestFlightDumpOnPanic pins the flight-recorder escape hatch: a
+// panicking job whose recorder holds stub events produces a JSONL dump
+// whose last entries match what the job recorded before dying.
+func TestFlightDumpOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	fr := telemetry.NewFlightRecorder(8)
+	jobs := []Job[int]{
+		okJob("fine", 1),
+		{
+			Key:    "wl/pol:bad",
+			Flight: fr,
+			Run: func(context.Context) (int, error) {
+				fr.Record(100, "ev", `"step":1`)
+				fr.Record(200, "ev", `"step":2`)
+				panic("boom")
+			},
+		},
+	}
+	res, err := Run(context.Background(), Config{Parallel: 2, FlightDir: dir}, jobs)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	if res[0].FlightPath != "" {
+		t.Fatalf("healthy job got a flight dump: %s", res[0].FlightPath)
+	}
+	path := res[1].FlightPath
+	if path == "" {
+		t.Fatal("panicking job has no FlightPath")
+	}
+	if filepath.Base(path) != "wl_pol_bad.flight.jsonl" {
+		t.Fatalf("dump name = %s, want sanitized key", filepath.Base(path))
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], `"step":1`) || !strings.Contains(lines[1], `"step":2`) {
+		t.Fatalf("dump entries do not match recorded events:\n%s", data)
+	}
+}
+
+// TestFlightDumpOnDeadline covers the other dump trigger.
+func TestFlightDumpOnDeadline(t *testing.T) {
+	dir := t.TempDir()
+	fr := telemetry.NewFlightRecorder(8)
+	jobs := []Job[int]{{
+		Key:    "slow",
+		Flight: fr,
+		Run: func(ctx context.Context) (int, error) {
+			fr.Record(1, "ev", `"started":true`)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+	}}
+	res, err := Run(context.Background(), Config{Timeout: 10 * time.Millisecond, FlightDir: dir}, jobs)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	var de *DeadlineError
+	if !errors.As(res[0].Err, &de) {
+		t.Fatalf("error = %v, want *DeadlineError", res[0].Err)
+	}
+	if res[0].FlightPath == "" {
+		t.Fatal("deadline-blown job has no FlightPath")
+	}
+	if _, err := os.Stat(res[0].FlightPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoFlightDumpWithoutDir pins that dumping is opt-in.
+func TestNoFlightDumpWithoutDir(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(8)
+	jobs := []Job[int]{{
+		Key:    "bad",
+		Flight: fr,
+		Run:    func(context.Context) (int, error) { panic("boom") },
+	}}
+	res, _ := Run(context.Background(), Config{}, jobs)
+	if res[0].FlightPath != "" {
+		t.Fatalf("dump written without FlightDir: %s", res[0].FlightPath)
+	}
+}
+
+// TestCampaignSpans pins the harness-level span tree: one
+// runner.campaign root with one child span per attempt, named by the
+// job key, all closed when Run returns.
+func TestCampaignSpans(t *testing.T) {
+	tel := telemetry.New()
+	tel.Spans.SetWallClock(func() int64 { return 42 })
+	var runs atomic.Int64
+	jobs := []Job[int]{
+		okJob("a", 1),
+		{Key: "flaky", Run: func(context.Context) (int, error) {
+			if runs.Add(1) == 1 {
+				return 0, errors.New("transient")
+			}
+			return 2, nil
+		}},
+	}
+	_, err := Run(context.Background(), Config{
+		Telemetry: tel,
+		Retries:   1,
+		sleep:     func(time.Duration) {},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tel.Spans.Export()
+	var root *telemetry.SpanExport
+	attempts := map[string]int{}
+	for i, s := range spans {
+		switch s.Name {
+		case "runner.campaign":
+			root = &spans[i]
+		default:
+			attempts[s.Name]++
+		}
+		if s.Open() {
+			t.Errorf("span %s still open after Run returned", s.Name)
+		}
+	}
+	if root == nil {
+		t.Fatal("no runner.campaign root span")
+	}
+	if attempts["a"] != 1 || attempts["flaky"] != 2 {
+		t.Fatalf("attempt spans = %v, want a:1 flaky:2", attempts)
+	}
+	for _, s := range spans {
+		if s.Name != "runner.campaign" && s.Parent != root.ID {
+			t.Errorf("attempt span %s parented under %d, want campaign root %d", s.Name, s.Parent, root.ID)
+		}
 	}
 }

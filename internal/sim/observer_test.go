@@ -84,3 +84,55 @@ func TestDetachedObserverRunsClean(t *testing.T) {
 		t.Fatalf("detached observer still saw events: %v", obs.labels)
 	}
 }
+
+// runRecorder is a RunObserver: it additionally captures the Run
+// start/end notifications the telemetry layer turns into the
+// "engine.run" root span.
+type runRecorder struct {
+	recordingObserver
+	starts, ends []units.Time
+}
+
+func (o *runRecorder) RunStarted(at units.Time) { o.starts = append(o.starts, at) }
+func (o *runRecorder) RunEnded(at units.Time)   { o.ends = append(o.ends, at) }
+
+func TestRunObserverBracketsRun(t *testing.T) {
+	e := New()
+	obs := &runRecorder{}
+	e.SetObserver(obs)
+	e.At(10, func(units.Time) {})
+	e.At(25, func(units.Time) {})
+	e.Run()
+	if len(obs.starts) != 1 || len(obs.ends) != 1 {
+		t.Fatalf("starts/ends = %v/%v, want one each", obs.starts, obs.ends)
+	}
+	if obs.starts[0] != 0 || obs.ends[0] != 25 {
+		t.Errorf("run bracketed [%v, %v], want [0, 25]", obs.starts[0], obs.ends[0])
+	}
+	if len(obs.labels) != 2 {
+		t.Errorf("RunObserver lost plain observations: %v", obs.labels)
+	}
+
+	// RunUntil brackets too, ending at the requested horizon.
+	e2 := New()
+	obs2 := &runRecorder{}
+	e2.SetObserver(obs2)
+	e2.At(5, func(units.Time) {})
+	e2.RunUntil(100)
+	if len(obs2.starts) != 1 || len(obs2.ends) != 1 || obs2.ends[0] != 100 {
+		t.Errorf("RunUntil brackets = %v/%v, want end at 100", obs2.starts, obs2.ends)
+	}
+}
+
+// TestPlainObserverStillWorks pins that a non-RunObserver observer is
+// unaffected by the run bracketing (the type assertion just misses).
+func TestPlainObserverStillWorks(t *testing.T) {
+	e := New()
+	obs := &recordingObserver{}
+	e.SetObserver(obs)
+	e.At(1, func(units.Time) {})
+	e.Run()
+	if len(obs.labels) != 1 {
+		t.Fatalf("plain observer saw %d events, want 1", len(obs.labels))
+	}
+}

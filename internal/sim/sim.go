@@ -28,6 +28,17 @@ type Observer interface {
 	EventExecuted(label string, at units.Time, wallNs int64)
 }
 
+// RunObserver is an optional extension of Observer: an attached
+// observer that also implements it is notified when Run/RunUntil
+// begins and when it returns, with the engine's simulated time at each
+// point. Like Observer, it is profiling-only — nothing it does may
+// feed back into simulated state.
+type RunObserver interface {
+	Observer
+	RunStarted(at units.Time)
+	RunEnded(at units.Time)
+}
+
 type item struct {
 	at    units.Time
 	seq   uint64 // insertion order; breaks ties deterministically
@@ -271,7 +282,14 @@ func (e *Engine) step(limit units.Time) bool {
 // returns the final simulated time.
 func (e *Engine) Run() units.Time {
 	const maxTime = units.Time(1<<63 - 1)
+	ro, _ := e.obs.(RunObserver)
+	if ro != nil {
+		ro.RunStarted(e.now)
+	}
 	for e.step(maxTime) {
+	}
+	if ro != nil {
+		ro.RunEnded(e.now)
 	}
 	return e.now
 }
@@ -279,10 +297,17 @@ func (e *Engine) Run() units.Time {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t (if it is ahead of the last event). It returns the final time.
 func (e *Engine) RunUntil(t units.Time) units.Time {
+	ro, _ := e.obs.(RunObserver)
+	if ro != nil {
+		ro.RunStarted(e.now)
+	}
 	for e.step(t) {
 	}
 	if !e.halted && e.now < t {
 		e.now = t
+	}
+	if ro != nil {
+		ro.RunEnded(e.now)
 	}
 	return e.now
 }

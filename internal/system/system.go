@@ -175,17 +175,35 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 
 	tel := cfg.Telemetry
 	var trace *telemetry.Tracer
+	var spans *telemetry.SpanTracer
+	var flight *telemetry.FlightRecorder
 	if tel.Enabled() {
 		trace = tel.Tracer
+		spans = tel.Spans
+		flight = tel.Flight
 		eng.SetObserver(tel.Profile())
 		// Backpressure can fire per request; keep one representative
 		// event per thermal tick and count the rest.
 		trace.SetMinGap(telemetry.EvBackpressure, cfg.ThermalTick)
+		// The cube opens one span per request; at full scale that floods
+		// the capped span store within the first few hundred
+		// microseconds and silently evicts the rare control-plane spans
+		// (throttle reactions) that only arrive once the stack heats up.
+		// Keep one representative request span per thermal tick per
+		// family instead.
+		spans.SetMinGap(spans.Name("hmc.read"), cfg.ThermalTick)
+		spans.SetMinGap(spans.Name("hmc.write"), cfg.ThermalTick)
+		spans.SetMinGap(spans.Name("hmc.pim"), cfg.ThermalTick)
+		// The flight recorder (when attached) shadows the event and span
+		// streams so a crashing run carries its recent history.
+		trace.SetFlight(flight)
+		spans.SetFlight(flight)
 	}
 
 	cube := hmc.New(eng, space, cfg.HMC)
 	cube.DisableThermalEffects = policy.ThermalEffectsDisabled()
 	cube.Trace = trace
+	cube.SetSpans(spans)
 
 	// Build the throttling policy.
 	var pol core.Policy
@@ -234,18 +252,22 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	switch {
 	case sw != nil:
 		sw.Trace = trace
+		sw.Spans = spans
 		trace.PoolInit(0, "sw-ptp", initialPool)
 	case hw != nil:
 		hw.Trace = trace
+		hw.Spans = spans
 		trace.PoolInit(0, "hw-pcu", initialPool)
 	case mhw != nil:
 		mhw.Trace = trace
+		mhw.Spans = spans
 		trace.PoolInit(0, "hw-pcu", initialPool)
 	}
 
 	dev := gpu.New(eng, space, cube, pol, cfg.GPU)
 	dev.PIMOffloadActive = policy != core.NonOffloading
 	dev.Trace = trace
+	dev.SetSpans(spans)
 
 	w.Setup(space, g)
 
@@ -347,13 +369,20 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 			telemetry.LinearBounds(0.25, 0.25, 16))
 	}
 
+	// thermalTickName is zero when spans are disabled; StartSpan on the
+	// nil tracer then returns an inert Span, keeping the tick path
+	// allocation-free (TestApplyPowerTickZeroAllocs pins this).
+	thermalTickName := spans.Name("thermal.tick")
 	applyPower := func(now units.Time, dt units.Time) {
+		sp := spans.StartSpan(now, thermalTickName)
 		temp := coupler.tick(dt)
 		if temp > res.PeakDRAM {
 			res.PeakDRAM = temp
 		}
 		tempHist.Observe(float64(temp))
+		flight.Thermal(now, temp)
 		cube.SetTemperature(now, temp)
+		sp.End(now)
 	}
 	eng.EveryNamed(cfg.ThermalTick, "thermal", func(now units.Time) bool {
 		applyPower(now, cfg.ThermalTick)
@@ -425,6 +454,21 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		tel.Series.Start(eng, sampleEvery, func() bool { return finished })
 	}
 
+	// Live snapshot publication. The extra "diag" ticker events do not
+	// perturb determinism: they only read state, and the relative
+	// (at, seq) order of all other events is unchanged — the
+	// race-enabled byte-identity test in diagserver pins this.
+	if tel.Enabled() && tel.Sink != nil {
+		publishEvery := tel.PublishEvery
+		if publishEvery <= 0 {
+			publishEvery = cfg.SampleInterval
+		}
+		eng.EveryNamed(publishEvery, "diag", func(now units.Time) bool {
+			tel.Publish(now)
+			return !finished
+		})
+	}
+
 	// Workload driver: chain launches through OnComplete.
 	var runNext func(now units.Time)
 	runNext = func(now units.Time) {
@@ -477,6 +521,8 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	if !res.Shutdown {
 		res.VerifyErr = w.Verify()
 	}
+	// Final snapshot so a held-open diag server shows end-of-run state.
+	tel.Publish(eng.Now())
 	return res, nil
 }
 

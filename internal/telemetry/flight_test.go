@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coolpim/internal/units"
+)
+
+func TestFlightRingWraps(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record(units.Time(i), "ev", fmt.Sprintf(`"i":%d`, i))
+	}
+	if fr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", fr.Len())
+	}
+	if fr.Seq() != 10 {
+		t.Fatalf("seq = %d, want 10", fr.Seq())
+	}
+	var out bytes.Buffer
+	if err := fr.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dumped %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	// Oldest-first, and the global seq (1-based) reveals the 6 evicted
+	// entries: the survivors are records 7..10.
+	for i, line := range lines {
+		var rec struct {
+			Seq  uint64 `json:"seq"`
+			TPs  int64  `json:"t_ps"`
+			Kind string `json:"kind"`
+			I    int    `json:"i"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Seq != uint64(7+i) || rec.I != 6+i || rec.Kind != "ev" {
+			t.Fatalf("line %d = %+v, want seq %d / i %d", i, rec, 7+i, 6+i)
+		}
+	}
+}
+
+func TestFlightPartialRingDumpsInOrder(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Thermal(1000, 86.5)
+	fr.Record(2000, "warning", "")
+	var out bytes.Buffer
+	if err := fr.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dumped %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"thermal"`) || !strings.Contains(lines[0], `"temp_c":86.50`) {
+		t.Fatalf("thermal entry malformed: %s", lines[0])
+	}
+	// Entries without payload still parse as standalone JSON objects.
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("payload-free entry is invalid JSON: %v", err)
+	}
+}
+
+func TestFlightDumpFile(t *testing.T) {
+	fr := NewFlightRecorder(0) // default capacity
+	fr.Record(1, "ev", `"x":1`)
+	path := filepath.Join(t.TempDir(), "ring.flight.jsonl")
+	if err := fr.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"x":1`) {
+		t.Fatalf("dump missing entry: %s", data)
+	}
+}
+
+func TestNilFlightRecorderZeroAlloc(t *testing.T) {
+	var fr *FlightRecorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr.Record(1, "ev", "")
+		fr.Thermal(2, 90)
+		_ = fr.Len()
+		_ = fr.Seq()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil FlightRecorder allocated %.1f per op, want 0", allocs)
+	}
+}

@@ -286,9 +286,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// helpEscaper applies the Prometheus text exposition escaping for HELP
+// lines: backslash and line feed must be escaped (in that order) so a
+// multiline help string stays one well-formed comment line.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 func writeHeader(w io.Writer, name, help, typ string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpEscaper.Replace(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 }

@@ -1,0 +1,460 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"coolpim/internal/units"
+)
+
+// SpanID identifies one span within a run's stream. IDs are assigned
+// sequentially from 1; 0 means "no span" and is the parent of roots.
+type SpanID uint32
+
+// SpanName is an interned span-name handle returned by SpanTracer.Name.
+// Components intern their names once at wiring time so starting a span
+// on the hot path is a mutex acquire and a slice append, never a map
+// lookup or a string allocation. The zero SpanName renders as "".
+type SpanName uint32
+
+// DefaultMaxSpans caps the in-memory span store; beyond it spans are
+// dropped and counted, so a runaway emitter cannot exhaust memory.
+const DefaultMaxSpans = 1 << 20
+
+// spanOpen marks a span's End while it is still in flight.
+const spanOpen = units.Time(-1)
+
+// spanRec is the stored form of one span.
+type spanRec struct {
+	id          SpanID
+	parent      SpanID
+	name        SpanName
+	start, end  units.Time
+	wallStartNs int64
+	wallEndNs   int64
+}
+
+// SpanTracer records the hierarchical span tree of one run: every span
+// has an explicit parent (spans routinely outlive the engine event that
+// opened them, so there is deliberately no implicit "current span"
+// stack), an interned name, a simulated start/end time and — when a
+// wall clock is injected — wall-clock stamps for harness-level spans.
+//
+// A nil *SpanTracer is the disabled state: every method returns
+// immediately without allocating, and the Span values it hands out are
+// inert. An enabled tracer is safe for concurrent use (the campaign
+// runner opens job spans from worker goroutines); within a
+// single-threaded simulation the mutex is uncontended.
+//
+// Wall-clock stamps never appear in the deterministic JSONL/Chrome
+// exports — they are only visible through live snapshots — so two runs
+// with identical seeds still produce byte-identical span exports.
+type SpanTracer struct {
+	mu       sync.Mutex
+	names    []string // index = SpanName-1
+	nameIDs  map[string]SpanName
+	spans    []spanRec
+	nextID   SpanID
+	curRoot  SpanID // most recently started, still-open root span
+	maxSpans int
+	dropped  uint64
+	gaps     []nameGap // index = SpanName-1; zero gap = record every span
+	suppress uint64
+	wall     func() int64 // optional wall clock (UnixNano); nil = no stamps
+	flight   *FlightRecorder
+}
+
+// nameGap is the per-name sampling state installed by SetMinGap.
+type nameGap struct {
+	gap  units.Time
+	last units.Time
+	seen bool
+}
+
+// NewSpanTracer returns an enabled, empty span tracer.
+func NewSpanTracer() *SpanTracer {
+	return &SpanTracer{
+		nameIDs:  make(map[string]SpanName),
+		maxSpans: DefaultMaxSpans,
+	}
+}
+
+// SetWallClock injects the wall-clock source (a UnixNano reading) used
+// to stamp spans. The telemetry package never reads the wall clock
+// itself — harness code that wants wall stamps (the campaign runner,
+// the diag server) passes its own reader, keeping simulation packages
+// free of timing syscalls. A nil fn disables wall stamping.
+func (t *SpanTracer) SetWallClock(fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.wall = fn
+	t.mu.Unlock()
+}
+
+// SetFlight attaches a flight recorder that receives one record per
+// span closure (see FlightRecorder).
+func (t *SpanTracer) SetFlight(fr *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = fr
+	t.mu.Unlock()
+}
+
+// SetMaxSpans caps the stored span count (further spans are dropped and
+// counted). Non-positive n keeps the current cap.
+func (t *SpanTracer) SetMaxSpans(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.maxSpans = n
+	t.mu.Unlock()
+}
+
+// SetMinGap rate-limits one span name: after a span of that name is
+// recorded, further spans of the same name starting closer than gap to
+// it are suppressed — not stored, not counted against the cap, and
+// their Span handles are inert. The first span of the name always
+// records, and (re)installing a gap resets the name's sampling state.
+// Gating is on simulated start time only, so sampling is deterministic.
+//
+// System wiring uses this for per-request span families (one span per
+// HMC request): without sampling, a long run fills the capped store
+// with bulk spans in its first few hundred microseconds and the rare
+// control-plane spans (throttle reactions) that arrive later are
+// silently dropped.
+func (t *SpanTracer) SetMinGap(name SpanName, gap units.Time) {
+	if t == nil || name == 0 || gap <= 0 {
+		return
+	}
+	t.mu.Lock()
+	for int(name) > len(t.gaps) {
+		t.gaps = append(t.gaps, nameGap{})
+	}
+	t.gaps[name-1] = nameGap{gap: gap}
+	t.mu.Unlock()
+}
+
+// Suppressed returns how many spans SetMinGap sampling discarded.
+func (t *SpanTracer) Suppressed() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.suppress
+}
+
+// Name interns a span name and returns its handle. Interning the same
+// string twice returns the same handle. On a nil tracer (or for the
+// empty string) it returns the zero handle.
+func (t *SpanTracer) Name(name string) SpanName {
+	if t == nil || name == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.nameIDs[name]; ok {
+		return id
+	}
+	t.names = append(t.names, name)
+	id := SpanName(len(t.names))
+	t.nameIDs[name] = id
+	return id
+}
+
+// Span is a handle to one in-flight span. The zero Span (from a nil or
+// saturated tracer) is inert: End and ID are no-ops. Span values are
+// small and copyable; exactly one End per span is the caller's
+// responsibility (a second End overwrites the stamps).
+type Span struct {
+	t   *SpanTracer
+	idx int32
+}
+
+// StartRoot opens a top-level span (parent 0) and makes it the current
+// root: until it ends, StartSpan parents new spans under it. The engine
+// profile opens the "engine.run" root; campaign code opens one root per
+// campaign.
+func (t *SpanTracer) StartRoot(at units.Time, name SpanName) Span {
+	if t == nil {
+		return Span{}
+	}
+	sp := t.start(at, name, 0, true)
+	return sp
+}
+
+// StartSpan opens a span parented under the current root span (or as a
+// root itself if none is open). Components on the simulation hot path
+// use this: their spans hang off the run's "engine.run" root without
+// the component having to thread the root's ID around.
+func (t *SpanTracer) StartSpan(at units.Time, name SpanName) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.start(at, name, t.currentRoot(), false)
+}
+
+// StartChild opens a span under an explicit parent (0 for a root
+// without current-root tracking). Use this to build causal edges that
+// cross components — e.g. a kernel span parenting its block spans.
+func (t *SpanTracer) StartChild(at units.Time, name SpanName, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.start(at, name, parent, false)
+}
+
+func (t *SpanTracer) currentRoot() SpanID {
+	t.mu.Lock()
+	r := t.curRoot
+	t.mu.Unlock()
+	return r
+}
+
+func (t *SpanTracer) start(at units.Time, name SpanName, parent SpanID, root bool) Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := int(name); n > 0 && n <= len(t.gaps) && t.gaps[n-1].gap > 0 {
+		g := &t.gaps[n-1]
+		if g.seen && at < g.last+g.gap {
+			t.suppress++
+			return Span{}
+		}
+		g.seen = true
+		g.last = at
+	}
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+		return Span{}
+	}
+	t.nextID++
+	rec := spanRec{id: t.nextID, parent: parent, name: name, start: at, end: spanOpen}
+	if t.wall != nil {
+		rec.wallStartNs = t.wall()
+	}
+	t.spans = append(t.spans, rec)
+	if root {
+		t.curRoot = rec.id
+	}
+	return Span{t: t, idx: int32(len(t.spans) - 1)}
+}
+
+// ID returns the span's identifier (0 for the inert zero Span), for use
+// as an explicit parent in StartChild.
+func (s Span) ID() SpanID {
+	if s.t == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	id := s.t.spans[s.idx].id
+	s.t.mu.Unlock()
+	return id
+}
+
+// End closes the span at simulated time at.
+func (s Span) End(at units.Time) {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	rec := &t.spans[s.idx]
+	rec.end = at
+	if t.wall != nil {
+		rec.wallEndNs = t.wall()
+	}
+	if rec.parent == 0 && t.curRoot == rec.id {
+		t.curRoot = 0
+	}
+	fl := t.flight
+	var name string
+	var start units.Time
+	if fl != nil {
+		name = t.nameStr(rec.name)
+		start = rec.start
+	}
+	t.mu.Unlock()
+	if fl != nil {
+		fl.Record(at, "span", fmt.Sprintf(`"name":%q,"start_ps":%d,"dur_ps":%d`,
+			name, int64(start), int64(at-start)))
+	}
+}
+
+// nameStr resolves a name handle; callers hold t.mu.
+func (t *SpanTracer) nameStr(n SpanName) string {
+	if n == 0 || int(n) > len(t.names) {
+		return ""
+	}
+	return t.names[n-1]
+}
+
+// Len returns the number of recorded spans.
+func (t *SpanTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans the in-memory cap discarded.
+func (t *SpanTracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanExport is the externalized form of one span: name resolved, End
+// equal to -1 while the span is open. Wall stamps are deliberately
+// absent (see SpanTracer).
+type SpanExport struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  units.Time
+	End    units.Time // -1 = still open
+}
+
+// Open reports whether the span had not ended at export time.
+func (s SpanExport) Open() bool { return s.End == spanOpen }
+
+// Export returns a copy of all recorded spans in start order.
+func (t *SpanTracer) Export() []SpanExport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanExport, len(t.spans))
+	for i, r := range t.spans {
+		out[i] = SpanExport{ID: r.id, Parent: r.parent, Name: t.nameStr(r.name), Start: r.start, End: r.end}
+	}
+	return out
+}
+
+// WriteJSONL writes the span tree as one JSON object per line (see
+// WriteSpansJSONL for the format).
+func (t *SpanTracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return WriteSpansJSONL(w, t.Export())
+}
+
+// WriteSpansJSONL writes spans as one JSON object per line:
+//
+//	{"id":3,"parent":1,"name":"thermal.tick","start_ps":10000000,"end_ps":10002000}
+//
+// Open spans carry "end_ps":-1. The format round-trips byte-identically
+// through ParseSpansJSONL.
+func WriteSpansJSONL(w io.Writer, spans []SpanExport) error {
+	var sb strings.Builder
+	for _, s := range spans {
+		sb.Reset()
+		fmt.Fprintf(&sb, `{"id":%d,"parent":%d,"name":%q,"start_ps":%d,"end_ps":%d}`,
+			uint32(s.ID), uint32(s.Parent), s.Name, int64(s.Start), int64(s.End))
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseSpansJSONL parses the WriteSpansJSONL format back into spans.
+func ParseSpansJSONL(r io.Reader) ([]SpanExport, error) {
+	var out []SpanExport
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			ID      uint32 `json:"id"`
+			Parent  uint32 `json:"parent"`
+			Name    string `json:"name"`
+			StartPs int64  `json:"start_ps"`
+			EndPs   int64  `json:"end_ps"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: spans line %d: %w", lineNo, err)
+		}
+		out = append(out, SpanExport{
+			ID:     SpanID(rec.ID),
+			Parent: SpanID(rec.Parent),
+			Name:   rec.Name,
+			Start:  units.Time(rec.StartPs),
+			End:    units.Time(rec.EndPs),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// spanSnapshotRow is the /spans live-view record; unlike SpanExport it
+// carries the wall-clock stamps (the live view is not a deterministic
+// artifact).
+type spanSnapshotRow struct {
+	ID          uint32  `json:"id"`
+	Parent      uint32  `json:"parent"`
+	Name        string  `json:"name"`
+	StartMs     float64 `json:"start_ms"`
+	EndMs       float64 `json:"end_ms"` // -1e-6 ms sentinel not used; open spans carry "open":true
+	Open        bool    `json:"open,omitempty"`
+	WallStartNs int64   `json:"wall_start_ns,omitempty"`
+	WallEndNs   int64   `json:"wall_end_ns,omitempty"`
+}
+
+// snapshotJSON renders the most recent max spans (0 = all) as a JSON
+// array for the diag server's /spans endpoint.
+func (t *SpanTracer) snapshotJSON(max int) []byte {
+	if t == nil {
+		return []byte("[]")
+	}
+	t.mu.Lock()
+	spans := t.spans
+	if max > 0 && len(spans) > max {
+		spans = spans[len(spans)-max:]
+	}
+	rows := make([]spanSnapshotRow, len(spans))
+	for i, r := range spans {
+		rows[i] = spanSnapshotRow{
+			ID:          uint32(r.id),
+			Parent:      uint32(r.parent),
+			Name:        t.nameStr(r.name),
+			StartMs:     r.start.Milliseconds(),
+			EndMs:       r.end.Milliseconds(),
+			Open:        r.end == spanOpen,
+			WallStartNs: r.wallStartNs,
+			WallEndNs:   r.wallEndNs,
+		}
+		if rows[i].Open {
+			rows[i].EndMs = -1
+		}
+	}
+	t.mu.Unlock()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		return []byte("[]")
+	}
+	return b
+}

@@ -40,17 +40,36 @@ type Telemetry struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Series   *Series
+	Spans    *SpanTracer
 	profile  *EngineProfile
+
+	// Flight, if non-nil, is the crash-evidence ring buffer: the tracer
+	// and span tracer feed it copies of their records and the system
+	// wiring adds thermal snapshots, so a panicking or wedged run can be
+	// dumped post-mortem (see FlightRecorder). Opt-in; set it before the
+	// run is wired.
+	Flight *FlightRecorder
+
+	// Sink, if non-nil, receives periodically published snapshots for
+	// live inspection (see Snapshot); PublishEvery sets the cadence
+	// (0 → the system config's sample interval). RunID labels the
+	// snapshots.
+	Sink         SnapshotSink
+	PublishEvery units.Time
+	RunID        string
 }
 
 // New returns an enabled, empty telemetry hub.
 func New() *Telemetry {
-	return &Telemetry{
+	t := &Telemetry{
 		Registry: NewRegistry(),
 		Tracer:   NewTracer(),
 		Series:   NewSeries(),
+		Spans:    NewSpanTracer(),
 		profile:  NewEngineProfile(),
 	}
+	t.profile.spans = t.Spans
+	return t
 }
 
 // Enabled reports whether the hub is active (non-nil).
@@ -67,9 +86,15 @@ func (t *Telemetry) Profile() *EngineProfile {
 
 // EngineProfile aggregates engine-level profiling per component label:
 // how many events each component executed and how much wall-clock time
-// its handlers took. It implements sim.Observer structurally.
+// its handlers took. It implements sim.Observer structurally, and —
+// when a span tracer is attached — sim.RunObserver as well, opening the
+// "engine.run" root span around each Run/RunUntil so every component
+// span of the run hangs off one root.
 type EngineProfile struct {
 	byLabel map[string]*labelStats
+	spans   *SpanTracer
+	runName SpanName
+	runSpan Span
 }
 
 type labelStats struct {
@@ -97,6 +122,26 @@ func (p *EngineProfile) EventExecuted(label string, _ units.Time, wallNs int64) 
 	}
 	s.events++
 	s.wallNs += wallNs
+}
+
+// RunStarted opens the "engine.run" root span (sim.RunObserver).
+func (p *EngineProfile) RunStarted(at units.Time) {
+	if p == nil || p.spans == nil {
+		return
+	}
+	if p.runName == 0 {
+		p.runName = p.spans.Name("engine.run")
+	}
+	p.runSpan = p.spans.StartRoot(at, p.runName)
+}
+
+// RunEnded closes the "engine.run" root span (sim.RunObserver).
+func (p *EngineProfile) RunEnded(at units.Time) {
+	if p == nil || p.spans == nil {
+		return
+	}
+	p.runSpan.End(at)
+	p.runSpan = Span{}
 }
 
 // LabelStat is one row of the engine profile.

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -66,6 +68,7 @@ type Tracer struct {
 	suppressed map[EventKind]uint64
 	maxEvents  int
 	dropped    uint64
+	flight     *FlightRecorder
 }
 
 // DefaultMaxEvents caps the in-memory trace; beyond it events are
@@ -92,6 +95,15 @@ func (t *Tracer) SetMinGap(kind EventKind, gap units.Time) {
 	t.minGap[kind] = gap
 }
 
+// SetFlight attaches a flight recorder that receives a copy of every
+// recorded (non-suppressed, non-dropped) event.
+func (t *Tracer) SetFlight(fr *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.flight = fr
+}
+
 func (t *Tracer) emit(at units.Time, kind EventKind, data string) {
 	if gap := t.minGap[kind]; gap > 0 {
 		if last, seen := t.lastAt[kind]; seen && at-last < gap {
@@ -105,6 +117,13 @@ func (t *Tracer) emit(at units.Time, kind EventKind, data string) {
 		return
 	}
 	t.events = append(t.events, Event{At: at, Kind: kind, Data: data})
+	if t.flight != nil {
+		fd := fmt.Sprintf(`"kind":%q`, string(kind))
+		if data != "" {
+			fd += "," + data
+		}
+		t.flight.Record(at, "event", fd)
+	}
 }
 
 // Emit records a generic event; data must be a valid JSON object body
@@ -250,18 +269,72 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	return WriteEventsJSONL(w, t.events)
+}
+
+// WriteEventsJSONL writes events in the Tracer.WriteJSONL line format.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
 	var sb strings.Builder
-	for _, e := range t.events {
+	for _, e := range events {
 		sb.Reset()
-		fmt.Fprintf(&sb, `{"t_ps":%d,"t_ms":%.6f,"kind":%q`, int64(e.At), e.At.Milliseconds(), string(e.Kind))
-		if e.Data != "" {
-			sb.WriteByte(',')
-			sb.WriteString(e.Data)
-		}
-		sb.WriteString("}\n")
+		writeEventLine(&sb, e)
 		if _, err := io.WriteString(w, sb.String()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func writeEventLine(sb *strings.Builder, e Event) {
+	fmt.Fprintf(sb, `{"t_ps":%d,"t_ms":%.6f,"kind":%q`, int64(e.At), e.At.Milliseconds(), string(e.Kind))
+	if e.Data != "" {
+		sb.WriteByte(',')
+		sb.WriteString(e.Data)
+	}
+	sb.WriteString("}\n")
+}
+
+// ParseJSONL parses a WriteJSONL trace back into events. The parse is
+// exact: each line's fixed prefix is re-derived from the parsed t_ps
+// and kind and verified byte-for-byte, and the remainder becomes the
+// event's Data verbatim — so WriteEventsJSONL(ParseJSONL(x)) == x.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var sb strings.Builder
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec struct {
+			TPs  int64  `json:"t_ps"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		e := Event{At: units.Time(rec.TPs), Kind: EventKind(rec.Kind)}
+		sb.Reset()
+		fmt.Fprintf(&sb, `{"t_ps":%d,"t_ms":%.6f,"kind":%q`, rec.TPs, e.At.Milliseconds(), rec.Kind)
+		prefix := sb.String()
+		if !strings.HasPrefix(line, prefix) || !strings.HasSuffix(line, "}") {
+			return nil, fmt.Errorf("telemetry: trace line %d: not in canonical WriteJSONL form", lineNo)
+		}
+		rest := line[len(prefix) : len(line)-1]
+		if rest != "" {
+			if rest[0] != ',' {
+				return nil, fmt.Errorf("telemetry: trace line %d: malformed payload", lineNo)
+			}
+			e.Data = rest[1:]
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

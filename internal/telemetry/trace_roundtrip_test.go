@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTraceJSONLRoundTrip pins the event-trace format: writing, parsing
+// and re-writing the stream must reproduce the original bytes exactly,
+// so downstream tools (coolpim-trace, diffing two runs) can treat the
+// JSONL file as canonical.
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.ThermalWarning(1_000_000, true, 85.3)
+	tr.PhaseTransition(2_000_000, "nominal", "derate1", 86.1)
+	tr.PoolResize(3_000_000, "sw-ptp", 60, 48, "warning")
+	tr.Emit(4_000_000, EvShutdown, "") // payload-free event
+
+	var first bytes.Buffer
+	if err := tr.WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	var second bytes.Buffer
+	if err := WriteEventsJSONL(&second, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n%q\nvs\n%q", first.String(), second.String())
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+// TestHelpEscaping is the S1 regression: HELP text containing
+// backslashes or newlines must be escaped per the Prometheus text
+// exposition format, or a multiline help string corrupts the whole
+// exposition (the continuation line parses as a bogus sample).
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "first line\nsecond line with a \\ backslash")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `# HELP c_total first line\nsecond line with a \\ backslash` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	// Every line must be a comment or a sample — an unescaped newline
+	// would have produced a bare "second line..." line.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "c_total") {
+			t.Fatalf("stray exposition line %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestQuantileEdges pins Histogram.Quantile at the boundaries the
+// interpolation code special-cases: q=0, q=1, and mass in the +Inf
+// bucket beyond the last finite bound.
+func TestQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_edges", "test", LinearBounds(10, 10, 10)) // 10..100
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0 (interpolates from the first bucket's lower edge)", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %g, want 100", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %g, want clamp to Quantile(0)", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1)", got)
+	}
+
+	// All mass beyond the last finite bound: every quantile clamps to it.
+	h2 := reg.Histogram("q_inf", "test", LinearBounds(10, 10, 2)) // 10, 20
+	h2.Observe(1e9)
+	h2.Observe(1e9)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := h2.Quantile(q); got != 20 {
+			t.Errorf("Quantile(%g) with +Inf mass = %g, want clamp to 20", q, got)
+		}
+	}
+
+	// Empty histogram has no quantiles.
+	h3 := reg.Histogram("q_empty", "test", LinearBounds(10, 10, 2))
+	if got := h3.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty histogram = %g, want NaN", got)
+	}
+}
