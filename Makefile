@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint race bench bench-json bench-smoke figs-check sweep-smoke obs-smoke clean
+.PHONY: all build test vet lint lint-fixtures race bench bench-json bench-smoke figs-check sweep-smoke obs-smoke clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -30,6 +30,12 @@ lint:
 	$(GO) vet ./...
 	$(GO) build -o $(VETTOOL) ./cmd/coolpim-vet
 	$(GO) vet -vettool=$(CURDIR)/$(VETTOOL) ./...
+
+# lint-fixtures tests the analyzers themselves: every testdata-driven
+# fixture suite, the call-graph unit tests, the fact round-trip
+# byte-identity test, and the vetx unitchecker-protocol test.
+lint-fixtures:
+	$(GO) test ./internal/analyzers/... ./cmd/coolpim-vet
 
 race:
 	$(GO) test -race ./...

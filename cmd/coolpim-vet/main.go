@@ -1,17 +1,25 @@
 // Command coolpim-vet is the multichecker for the project's analyzer
-// suite (internal/analyzers): determinism, unitsafety, telemetrysafe and
-// eventhygiene, plus validation of //coolpim:allow directives.
+// suite (internal/analyzers): determinism, unitsafety, telemetrysafe,
+// eventhygiene, hotalloc and lockcheck, plus validation of
+// //coolpim:allow directives (including stale-directive detection).
 //
 // It runs in two modes:
 //
-//	go vet -vettool=$(pwd)/bin/coolpim-vet ./...   # toolchain-driven
-//	coolpim-vet [-only name[,name]] [dir ...]      # standalone
+//	go vet -vettool=$(pwd)/bin/coolpim-vet ./...        # toolchain-driven
+//	coolpim-vet [-only name[,name]] [-json] [dir ...]   # standalone
 //
 // Under go vet the toolchain hands the tool one JSON config per package
-// with export data for its imports (the vettool protocol); standalone
-// mode type-checks the module from source and defaults to every package
-// under the enclosing module. Exit status is 1 when any diagnostic is
-// reported, 0 otherwise.
+// with export data for its imports (the vettool protocol); cross-package
+// facts ride the protocol's vetx files. Standalone mode type-checks the
+// module from source, analyzes packages in dependency order through a
+// shared in-memory fact store, and defaults to every package under the
+// enclosing module.
+//
+// Output: diagnostics default to file:line:col text on stderr with exit
+// status 1. -json emits a deterministic JSON array on stdout instead
+// (exit 0). -github — or the GITHUB_ACTIONS environment the Actions
+// runner sets — additionally emits ::error workflow commands so CI
+// findings become inline annotations.
 package main
 
 import (
@@ -37,6 +45,8 @@ func main() {
 		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+firstSentence(a.Doc)+")")
 	}
 	only := flag.String("only", "", "comma-separated analyzer names to run, disabling the rest")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout instead of text on stderr")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations (auto-enabled under GITHUB_ACTIONS)")
 	printflags := flag.Bool("flags", false, "print the tool's flags as JSON (go vet protocol)")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	flag.Usage = usage
@@ -65,12 +75,25 @@ func main() {
 		}
 	}
 
+	out := outputOptions{
+		jsonOut: *jsonOut,
+		github:  *github || os.Getenv("GITHUB_ACTIONS") == "true",
+	}
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runUnitchecker(args[0], suite)
+		runUnitchecker(args[0], suite, out)
 		return
 	}
-	runStandalone(args, suite)
+	runStandalone(args, suite, out)
+}
+
+// outputOptions selects how findings are rendered.
+type outputOptions struct {
+	// jsonOut emits machine-readable JSON on stdout instead of text.
+	jsonOut bool
+	// github additionally emits ::error workflow commands, which the
+	// GitHub Actions runner turns into inline annotations.
+	github bool
 }
 
 func usage() {

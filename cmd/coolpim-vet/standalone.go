@@ -1,16 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"coolpim/internal/analyzers"
 	"coolpim/internal/analyzers/analysis"
 	"coolpim/internal/analyzers/driver"
+	"coolpim/internal/analyzers/facts"
 	"coolpim/internal/analyzers/load"
 )
 
@@ -20,7 +23,12 @@ import (
 // recurses from that root). Only non-test files are loaded — the
 // analyzers skip _test.go files anyway, and go vet mode covers test
 // compilation units.
-func runStandalone(args []string, suite []*analysis.Analyzer) {
+//
+// Packages are analyzed in dependency order through a shared fact
+// store: before a package runs, its in-module imports run first (once),
+// so cross-package analyzers see the same facts the unitchecker
+// protocol would deliver.
+func runStandalone(args []string, suite []*analysis.Analyzer, out outputOptions) {
 	loader, err := load.NewLoader(".")
 	if err != nil {
 		log.Fatal(err)
@@ -44,11 +52,30 @@ func runStandalone(args []string, suite []*analysis.Analyzer) {
 		}
 		dirs = append(dirs, filepath.Clean(arg))
 	}
-	total := 0
-	for _, dir := range dirs {
-		total += checkDir(loader, dir, suite)
+	s := &sweep{
+		loader: loader,
+		suite:  suite,
+		store:  facts.NewStore(suite),
+		done:   make(map[string]bool),
 	}
-	if total > 0 {
+	for _, dir := range dirs {
+		s.analyze(importPathFor(loader, dir))
+	}
+	sort.Slice(s.findings, func(i, j int) bool {
+		a, b := s.findings[i], s.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	s.emit(out)
+	if len(s.findings) > 0 && !out.jsonOut {
 		os.Exit(1)
 	}
 }
@@ -79,7 +106,8 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-func checkDir(loader *load.Loader, dir string, suite []*analysis.Analyzer) int {
+// importPathFor maps a directory to its import path within the module.
+func importPathFor(loader *load.Loader, dir string) string {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		log.Fatal(err)
@@ -88,25 +116,112 @@ func checkDir(loader *load.Loader, dir string, suite []*analysis.Analyzer) int {
 	if err != nil || strings.HasPrefix(rel, "..") {
 		log.Fatalf("%s is outside module %s", dir, loader.ModRoot())
 	}
-	importPath := loader.ModPath()
-	if rel != "." {
-		importPath += "/" + filepath.ToSlash(rel)
+	if rel == "." {
+		return loader.ModPath()
 	}
-	pkg, err := loader.Load(importPath)
+	return loader.ModPath() + "/" + filepath.ToSlash(rel)
+}
+
+// sweep analyzes packages once each, dependencies first, accumulating
+// findings and facts.
+type sweep struct {
+	loader   *load.Loader
+	suite    []*analysis.Analyzer
+	store    *facts.Store
+	done     map[string]bool
+	findings []driver.Finding
+}
+
+// analyze runs the suite over importPath after its in-module imports.
+// Dependencies pulled in only for facts are analyzed identically —
+// their findings count too, since a dirty dependency is just as much a
+// lint failure.
+func (s *sweep) analyze(importPath string) {
+	if s.done[importPath] {
+		return
+	}
+	s.done[importPath] = true
+	pkg, err := s.loader.Load(importPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	findings, err := driver.Run(driver.Unit{
-		Fset:  loader.Fset,
+	modPrefix := s.loader.ModPath() + "/"
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == s.loader.ModPath() || strings.HasPrefix(imp.Path(), modPrefix) {
+			s.analyze(imp.Path())
+		}
+	}
+	findings, err := driver.RunOpts(driver.Unit{
+		Fset:  s.loader.Fset,
 		Files: pkg.Files,
 		Pkg:   pkg.Types,
 		Info:  pkg.Info,
-	}, suite, analyzers.Names())
+	}, s.suite, analyzers.Names(), driver.Options{Facts: s.store})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	s.findings = append(s.findings, findings...)
+}
+
+// jsonFinding is the -json record shape: one flat object per
+// diagnostic, emitted as a sorted array for deterministic output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (s *sweep) emit(out outputOptions) {
+	if out.jsonOut {
+		recs := make([]jsonFinding, 0, len(s.findings))
+		for _, f := range s.findings {
+			recs = append(recs, jsonFinding{
+				File:     relPath(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		data, err := json.MarshalIndent(recs, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Stdout.Write([]byte("\n"))
+		if len(s.findings) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
-	return len(findings)
+	for _, f := range s.findings {
+		fmt.Fprintln(os.Stderr, f)
+		if out.github {
+			fmt.Fprintln(os.Stderr, githubAnnotation(f))
+		}
+	}
+}
+
+// relPath renders a finding path relative to the working directory when
+// possible, which is what both humans and GitHub annotations want.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow
+// command, which the Actions runner turns into an inline PR annotation.
+func githubAnnotation(f driver.Finding) string {
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Message)
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=coolpim-vet %s::%s",
+		relPath(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, msg)
 }

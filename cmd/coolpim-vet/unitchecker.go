@@ -17,6 +17,7 @@ import (
 	"coolpim/internal/analyzers"
 	"coolpim/internal/analyzers/analysis"
 	"coolpim/internal/analyzers/driver"
+	"coolpim/internal/analyzers/facts"
 )
 
 // vetConfig mirrors the JSON configuration the go command writes for
@@ -42,8 +43,12 @@ type vetConfig struct {
 
 // runUnitchecker analyzes the single package described by cfgFile and
 // exits: 0 when clean, 1 on diagnostics (printed to stderr in the
-// standard file:line:col format go vet surfaces).
-func runUnitchecker(cfgFile string, suite []*analysis.Analyzer) {
+// standard file:line:col format go vet surfaces). Facts read from the
+// dependency vetx files in PackageVetx feed the cross-package
+// analyzers, and the facts this package exports are serialized to
+// VetxOutput — deterministically, so the toolchain's cache stays
+// byte-stable.
+func runUnitchecker(cfgFile string, suite []*analysis.Analyzer, out outputOptions) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		log.Fatal(err)
@@ -52,45 +57,101 @@ func runUnitchecker(cfgFile string, suite []*analysis.Analyzer) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		log.Fatalf("parse %s: %v", cfgFile, err)
 	}
-	// The go command runs the tool over the entire import graph so
-	// fact-based analyzers can propagate; this suite is fact-free and
-	// scoped to the module, so everything else returns immediately.
-	// The (empty) facts file must still be written — its absence fails
-	// the toolchain's cache bookkeeping.
 	importPath := cfg.ImportPath
 	if i := strings.IndexByte(importPath, ' '); i >= 0 {
 		importPath = importPath[:i] // "pkg [pkg.test]" test variant
 	}
-	inScope := importPath == "coolpim" || strings.HasPrefix(importPath, "coolpim/")
-	if inScope && !cfg.VetxOnly {
-		if n := check(cfg, suite); n > 0 {
-			writeVetx(cfg)
-			os.Exit(1)
+
+	store := facts.NewStore(suite)
+	for path, file := range cfg.PackageVetx {
+		vetx, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("read facts for %s: %v", path, err)
+		}
+		if err := store.DecodePackage(path, vetx); err != nil {
+			log.Fatal(err)
 		}
 	}
-	writeVetx(cfg)
+
+	// Out-of-scope packages (stdlib, vendored deps) are never analyzed,
+	// but must still emit a (header-only) facts file for the toolchain's
+	// cache bookkeeping. In-scope packages are analyzed even on
+	// VetxOnly runs — dependents need their facts — but only
+	// diagnostic-bearing runs print or fail.
+	inScope := importPath == "coolpim" || strings.HasPrefix(importPath, "coolpim/")
+	var findings []driver.Finding
+	if inScope {
+		findings = check(cfg, suite, store)
+	}
+	writeVetx(cfg, store, importPath)
+	if cfg.VetxOnly {
+		return
+	}
+	if out.jsonOut {
+		emitVetJSON(cfg.ID, findings)
+		return // go vet -json collects diagnostics itself; exit 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+		if out.github {
+			fmt.Fprintln(os.Stderr, githubAnnotation(f))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
 }
 
-func writeVetx(cfg *vetConfig) {
+// writeVetx serializes the package's facts. The encoding is
+// deterministic (sorted records under a fixed header), so identical
+// facts always produce identical bytes.
+func writeVetx(cfg *vetConfig, store *facts.Store, importPath string) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte("coolpim-vet: no facts\n"), 0o666); err != nil {
+	data, err := store.EncodePackage(importPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// emitVetJSON prints findings in the shape `go vet -json` expects from
+// a vettool: {"pkgID": {"analyzer": [{posn, message}]}}.
+func emitVetJSON(pkgID string, findings []driver.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+			Posn:    f.Pos.String(),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	os.Stdout.Write([]byte("\n"))
+}
+
 // check parses and type-checks the package from cfg (imports resolve
 // through the export data the toolchain supplies in PackageFile), runs
-// the suite, prints findings, and returns their count.
-func check(cfg *vetConfig, suite []*analysis.Analyzer) int {
+// the suite against the shared fact store, and returns the findings.
+func check(cfg *vetConfig, suite []*analysis.Analyzer, store *facts.Store) []driver.Finding {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return nil
 			}
 			log.Fatalf("parse: %v", err)
 		}
@@ -121,19 +182,16 @@ func check(cfg *vetConfig, suite []*analysis.Analyzer) int {
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return nil
 		}
 		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
 	}
-	findings, err := driver.Run(driver.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info},
-		suite, analyzers.Names())
+	findings, err := driver.RunOpts(driver.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info},
+		suite, analyzers.Names(), driver.Options{Facts: store})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
-	return len(findings)
+	return findings
 }
 
 func build() string {

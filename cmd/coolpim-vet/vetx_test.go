@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/driver"
+	"coolpim/internal/analyzers/facts"
+	"coolpim/internal/analyzers/hotalloc"
+)
+
+// TestVetxRoundTrip pins the unitchecker protocol's fact file format:
+// writeVetx produces a deterministic file that decodes into an
+// equivalent store whose re-encoding is byte-identical.
+func TestVetxRoundTrip(t *testing.T) {
+	const src = `package p
+func Clean() int { return 1 }
+func Alloc(n int) []int { return make([]int, n) }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check("coolpim/internal/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suite := analyzers.All()
+	store := facts.NewStore(suite)
+	store.Export(hotalloc.Name, pkg.Scope().Lookup("Alloc"),
+		&hotalloc.Fact{Allocates: true, Reason: "make allocates at p.go:3"})
+	store.Export(hotalloc.Name, pkg.Scope().Lookup("Clean"), &hotalloc.Fact{})
+
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "p1.vetx")
+	writeVetx(&vetConfig{VetxOutput: out1}, store, "coolpim/internal/p")
+	data1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data1), facts.Header+"\n") {
+		t.Fatalf("vetx file missing header:\n%s", data1)
+	}
+
+	store2 := facts.NewStore(suite)
+	if err := store2.DecodePackage("coolpim/internal/p", data1); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "p2.vetx")
+	writeVetx(&vetConfig{VetxOutput: out2}, store2, "coolpim/internal/p")
+	data2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("vetx round trip not byte-identical:\n--- first\n%s--- second\n%s", data1, data2)
+	}
+
+	// The imported fact carries the exported content.
+	var got hotalloc.Fact
+	if !store2.Import(hotalloc.Name, pkg.Scope().Lookup("Alloc"), &got) {
+		t.Fatal("Alloc fact missing after round trip")
+	}
+	if !got.Allocates || got.Reason != "make allocates at p.go:3" {
+		t.Errorf("Alloc fact = %+v", got)
+	}
+}
+
+// TestGithubAnnotation pins the workflow-command format, including
+// newline escaping.
+func TestGithubAnnotation(t *testing.T) {
+	f := driver.Finding{
+		Analyzer: "hotalloc",
+		Pos:      token.Position{Filename: "internal/sim/sim.go", Line: 12, Column: 3},
+		Message:  "make allocates\nsecond line",
+	}
+	got := githubAnnotation(f)
+	want := "::error file=internal/sim/sim.go,line=12,col=3,title=coolpim-vet hotalloc::make allocates%0Asecond line"
+	if got != want {
+		t.Errorf("annotation = %q, want %q", got, want)
+	}
+}

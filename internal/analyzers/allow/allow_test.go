@@ -30,6 +30,15 @@ func TestDirectiveScope(t *testing.T) {
 	}
 }
 
+// TestStaleDirective proves the stale-directive audit end to end: in
+// the staletest fixture one directive suppresses a live determinism
+// diagnostic (silent) and one excuses a line that no longer violates
+// anything (reported, via the fixture's want annotation).
+func TestStaleDirective(t *testing.T) {
+	analysistest.Run(t, "staletest", "coolpim/internal/staletest",
+		[]*analysis.Analyzer{determinism.Analyzer}, analyzers.Names())
+}
+
 const collectSrc = `package p
 
 import "time"

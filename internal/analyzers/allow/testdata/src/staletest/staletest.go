@@ -1,0 +1,16 @@
+// Package staletest proves the stale-directive audit: an allow
+// directive that suppresses a live diagnostic stays silent, while one
+// whose excused code has since been fixed is itself an error.
+package staletest
+
+import "math/rand"
+
+func fresh() int {
+	//coolpim:allow determinism fixture exercising a live suppression
+	return rand.Intn(4)
+}
+
+func stale() int {
+	//coolpim:allow determinism nothing on the next line violates determinism // want "stale //coolpim:allow determinism directive: it suppresses no diagnostic"
+	return 4
+}

@@ -23,6 +23,20 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists pointer prototypes of the fact types the analyzer
+	// exports and imports (see Fact). An analyzer with no fact types is
+	// purely intra-package.
+	FactTypes []Fact
+}
+
+// Fact is a datum an analyzer attaches to a package-level object
+// (function or method) in one package and reads back when analyzing a
+// dependent package — the cross-package propagation mechanism, modeled
+// on golang.org/x/tools/go/analysis facts. Implementations must be
+// pointers to JSON-serializable structs; the driver serializes facts
+// deterministically through the unitchecker vetx protocol.
+type Fact interface {
+	AFact() // marker method; dedicated to this interface
 }
 
 // Pass carries one package's worth of parsed and type-checked input to
@@ -34,6 +48,31 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// ExportFact and ImportFact are bound by the driver to the run's
+	// fact store; analyzers use the ExportObjectFact / ImportObjectFact
+	// wrappers. Either may be nil (fact-free front ends).
+	ExportFact func(obj types.Object, fact Fact)
+	ImportFact func(obj types.Object, fact Fact) bool
+}
+
+// ExportObjectFact records a fact about obj, visible to later analyses
+// of packages that import this one. obj must be a package-level
+// function or method of the pass's package; other objects are ignored.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.ExportFact != nil {
+		p.ExportFact(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact previously exported about obj (by
+// this analyzer, possibly while analyzing another package) into fact and
+// reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.ImportFact == nil {
+		return false
+	}
+	return p.ImportFact(obj, fact)
 }
 
 // Diagnostic is one finding at a source position.

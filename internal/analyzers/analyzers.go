@@ -8,6 +8,8 @@ import (
 	"coolpim/internal/analyzers/analysis"
 	"coolpim/internal/analyzers/determinism"
 	"coolpim/internal/analyzers/eventhygiene"
+	"coolpim/internal/analyzers/hotalloc"
+	"coolpim/internal/analyzers/lockcheck"
 	"coolpim/internal/analyzers/telemetrysafe"
 	"coolpim/internal/analyzers/unitsafety"
 )
@@ -19,6 +21,8 @@ func All() []*analysis.Analyzer {
 		unitsafety.Analyzer,
 		telemetrysafe.Analyzer,
 		eventhygiene.Analyzer,
+		hotalloc.Analyzer,
+		lockcheck.Analyzer,
 	}
 }
 

@@ -1,0 +1,295 @@
+// Package callgraph builds the package-level call graph the
+// interprocedural analyzers (hotalloc) traverse. Nodes are function
+// bodies — declared functions, methods, and function literals — and
+// edges are call sites classified by how precisely the callee resolves:
+//
+//   - Static: the callee is a known function or method. Method calls
+//     resolve through the concrete receiver type via go/types selections,
+//     which also resolves embedded promotion to the embedded type's
+//     method.
+//   - StaticLit: the call invokes a function literal directly
+//     (immediately-invoked literals).
+//   - Builtin: append, make, len, panic, ...
+//   - Conversion: not a call at all — T(x).
+//   - DynamicInterface / DynamicFunc: dispatch through an interface
+//     value or a function-typed value. These cannot be resolved
+//     statically; analyzers that need a closed world diagnose them.
+//
+// The graph is intra-package: static edges may point at cross-package
+// functions (Edge.Callee carries the *types.Func), but only
+// same-package callees get Nodes.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Kind classifies one call edge.
+type Kind int
+
+const (
+	// Static is a resolved call of a declared function or method
+	// (possibly cross-package).
+	Static Kind = iota
+	// StaticLit is a direct call of a function literal.
+	StaticLit
+	// Builtin is a call of a predeclared builtin.
+	Builtin
+	// Conversion is a type conversion in call syntax, not a call.
+	Conversion
+	// DynamicInterface is a method call dispatched through an interface
+	// value (including methods promoted from an embedded interface).
+	DynamicInterface
+	// DynamicFunc is a call of a function-typed value: a variable,
+	// parameter, field, or the result of another call.
+	DynamicFunc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case StaticLit:
+		return "static-lit"
+	case Builtin:
+		return "builtin"
+	case Conversion:
+		return "conversion"
+	case DynamicInterface:
+		return "dynamic-interface"
+	case DynamicFunc:
+		return "dynamic-func"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one function body.
+type Node struct {
+	// Fn is the declared function or method; nil for literals.
+	Fn *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the function literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Parent is the node lexically enclosing a literal (nil for
+	// declared functions and package-level literals).
+	Parent *Node
+	// Lits are the function literals created directly in this body
+	// (not those nested inside inner literals).
+	Lits []*Node
+	// Calls are the call sites in this body, in source order, excluding
+	// those inside nested literals (which own their calls).
+	Calls []Edge
+}
+
+// Edge is one call site.
+type Edge struct {
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Kind classifies the callee resolution.
+	Kind Kind
+	// Callee is the resolved function for Static edges (may belong to
+	// another package), the interface method for DynamicInterface edges
+	// (for diagnostics), and nil otherwise.
+	Callee *types.Func
+	// LitNode is the callee for StaticLit edges.
+	LitNode *Node
+	// BuiltinName names the builtin for Builtin edges.
+	BuiltinName string
+}
+
+// Body returns the node's statement block (nil for body-less
+// declarations, e.g. assembly stubs).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// Pos returns the node's source position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// String names the node for diagnostics: the function or method name,
+// or "function literal in F" for literals.
+func (n *Node) String() string {
+	if n.Fn != nil {
+		if recv := n.Fn.Type().(*types.Signature).Recv(); recv != nil {
+			return fmt.Sprintf("(%s).%s", types.TypeString(recv.Type(), types.RelativeTo(n.Fn.Pkg())), n.Fn.Name())
+		}
+		return n.Fn.Name()
+	}
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.Fn != nil {
+			return "function literal in " + p.String()
+		}
+	}
+	return "function literal"
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	// Nodes holds every node in source order (declared functions first
+	// within a file only by virtue of lexical order).
+	Nodes []*Node
+	// ByFn indexes declared functions and methods.
+	ByFn map[*types.Func]*Node
+	// ByLit indexes function literals.
+	ByLit map[*ast.FuncLit]*Node
+}
+
+// Build constructs the call graph for the given files of one
+// type-checked package.
+func Build(files []*ast.File, info *types.Info) *Graph {
+	g := &Graph{
+		ByFn:  make(map[*types.Func]*Node),
+		ByLit: make(map[*ast.FuncLit]*Node),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := info.Defs[d.Name].(*types.Func)
+				n := &Node{Fn: fn, Decl: d}
+				g.addNode(n)
+				if d.Body != nil {
+					g.walkBody(n, d.Body, info)
+				}
+			case *ast.GenDecl:
+				// Package-level `var f = func() {...}` literals.
+				ast.Inspect(d, func(x ast.Node) bool {
+					if lit, ok := x.(*ast.FuncLit); ok {
+						n := &Node{Lit: lit}
+						g.addNode(n)
+						g.walkBody(n, lit.Body, info)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Immediately-invoked literals are classified before their node
+	// exists (calls are visited pre-order); resolve them now.
+	for _, n := range g.Nodes {
+		for i := range n.Calls {
+			e := &n.Calls[i]
+			if e.Kind == StaticLit && e.LitNode == nil {
+				if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+					e.LitNode = g.ByLit[lit]
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addNode(n *Node) {
+	g.Nodes = append(g.Nodes, n)
+	if n.Fn != nil {
+		g.ByFn[n.Fn] = n
+	}
+	if n.Lit != nil {
+		g.ByLit[n.Lit] = n
+	}
+}
+
+// walkBody collects the calls and nested literals of one body. Nested
+// literals become their own nodes; their contents are not attributed to
+// the enclosing node.
+func (g *Graph) walkBody(n *Node, body *ast.BlockStmt, info *types.Info) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			child := &Node{Lit: x, Parent: n}
+			n.Lits = append(n.Lits, child)
+			g.addNode(child)
+			g.walkBody(child, x.Body, info)
+			return false
+		case *ast.CallExpr:
+			n.Calls = append(n.Calls, classify(x, info, g))
+		}
+		return true
+	})
+}
+
+// classify resolves one call expression to an edge.
+func classify(call *ast.CallExpr, info *types.Info, g *Graph) Edge {
+	e := Edge{Call: call}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		e.Kind = Conversion
+		return e
+	}
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](x) / x.m[T](y).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := info.Types[idx.X]; ok && tv.IsType() {
+			break // conversion of an indexed type — leave to default
+		}
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		e.Kind = StaticLit
+		e.LitNode = g.ByLit[fun]
+		return e
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			e.Kind = Builtin
+			e.BuiltinName = obj.Name()
+		case *types.Func:
+			e.Kind = Static
+			e.Callee = obj
+		default:
+			e.Kind = DynamicFunc
+		}
+		return e
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn := sel.Obj().(*types.Func)
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv != nil && types.IsInterface(recv.Type()) {
+					e.Kind = DynamicInterface
+					e.Callee = fn
+				} else {
+					e.Kind = Static
+					e.Callee = fn
+				}
+			default: // FieldVal: calling a func-typed field
+				e.Kind = DynamicFunc
+			}
+			return e
+		}
+		// Qualified identifier: pkg.F or pkg.Var.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			e.Kind = Static
+			e.Callee = obj
+		case *types.Builtin:
+			e.Kind = Builtin
+			e.BuiltinName = obj.Name()
+		default:
+			e.Kind = DynamicFunc
+		}
+		return e
+	}
+	e.Kind = DynamicFunc
+	return e
+}

@@ -1,0 +1,209 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// build type-checks src as a single-file package and returns its graph.
+func build(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := cfg.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Build([]*ast.File{f}, info), info
+}
+
+// nodeNamed finds the node for the declared function name.
+func nodeNamed(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// edgeSummaries renders a node's calls as "kind:callee" strings.
+func edgeSummaries(n *Node) []string {
+	var out []string
+	for _, e := range n.Calls {
+		s := e.Kind.String()
+		switch {
+		case e.Callee != nil:
+			s += ":" + e.Callee.Name()
+		case e.BuiltinName != "":
+			s += ":" + e.BuiltinName
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func expectEdges(t *testing.T, n *Node, want ...string) {
+	t.Helper()
+	got := edgeSummaries(n)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("%s calls = %v, want %v", n, got, want)
+	}
+}
+
+// TestStaticResolution: plain functions and methods resolve statically
+// through both value and pointer receivers, whichever way the method
+// set supplies them.
+func TestStaticResolution(t *testing.T) {
+	g, _ := build(t, `package p
+
+type T struct{ n int }
+
+func (t T) Val() int   { return t.n }
+func (t *T) Ptr() int  { return t.n }
+
+func helper() int { return 0 }
+
+func caller() int {
+	var v T
+	p := &v
+	return helper() + v.Val() + v.Ptr() + p.Val() + p.Ptr()
+}
+`)
+	expectEdges(t, nodeNamed(t, g, "caller"),
+		"static:helper", "static:Val", "static:Ptr", "static:Val", "static:Ptr")
+}
+
+// TestEmbeddedPromotion: a promoted method call resolves to the
+// embedded type's method, not to a phantom method on the outer type —
+// and promotion through an embedded *interface* stays dynamic.
+func TestEmbeddedPromotion(t *testing.T) {
+	g, _ := build(t, `package p
+
+type inner struct{}
+
+func (inner) Hello() int { return 1 }
+
+type iface interface{ Greet() int }
+
+type outer struct {
+	inner
+	iface
+}
+
+func caller(o outer) int {
+	return o.Hello() + o.Greet()
+}
+`)
+	n := nodeNamed(t, g, "caller")
+	expectEdges(t, n, "static:Hello", "dynamic-interface:Greet")
+	// The static edge's callee is inner.Hello, proving promotion
+	// resolved through the embedded concrete type.
+	recv := n.Calls[0].Callee.Type().(*types.Signature).Recv()
+	if got := types.TypeString(recv.Type(), nil); got != "p.inner" {
+		t.Errorf("promoted callee receiver = %s, want p.inner", got)
+	}
+}
+
+// TestDynamicFallback: interface dispatch, func-typed variables,
+// parameters, fields and call results are all diagnosed as dynamic, and
+// builtins and conversions are neither static nor dynamic.
+func TestDynamicFallback(t *testing.T) {
+	g, _ := build(t, `package p
+
+type doer interface{ Do() }
+
+type holder struct{ fn func() }
+
+func supply() func() { return nil }
+
+func caller(d doer, f func(), h holder) {
+	d.Do()
+	f()
+	h.fn()
+	supply()()
+	g := f
+	g()
+	_ = len(make([]int, 0))
+	_ = int64(0)
+}
+`)
+	// Calls appear in pre-order, so the outer supply()() call precedes
+	// the inner supply() it invokes the result of.
+	expectEdges(t, nodeNamed(t, g, "caller"),
+		"dynamic-interface:Do", "dynamic-func", "dynamic-func",
+		"dynamic-func", "static:supply", "dynamic-func",
+		"builtin:len", "builtin:make", "conversion")
+}
+
+// TestFuncLits: literals get their own nodes parented under the
+// enclosing function; immediately-invoked literals are StaticLit edges;
+// calls inside a literal belong to the literal, not the outer function.
+func TestFuncLits(t *testing.T) {
+	g, _ := build(t, `package p
+
+func helper() {}
+
+func caller() {
+	fn := func() { helper() }
+	fn()
+	func() {}()
+}
+`)
+	n := nodeNamed(t, g, "caller")
+	if len(n.Lits) != 2 {
+		t.Fatalf("caller has %d literals, want 2", len(n.Lits))
+	}
+	// fn() is a dynamic func-value call; the trailing literal is
+	// invoked directly.
+	expectEdges(t, n, "dynamic-func", "static-lit")
+	if n.Calls[1].LitNode != n.Lits[1] {
+		t.Errorf("static-lit edge should target the second literal node")
+	}
+	// helper() belongs to the first literal's node.
+	expectEdges(t, n.Lits[0], "static:helper")
+	if n.Lits[0].Parent != n {
+		t.Errorf("literal's parent = %v, want caller", n.Lits[0].Parent)
+	}
+	if got := n.Lits[0].String(); got != "function literal in caller" {
+		t.Errorf("literal String() = %q", got)
+	}
+}
+
+// TestMethodExprAndValue: a method expression call T.M(v) is static;
+// the graph indexes methods for lookup by *types.Func.
+func TestMethodExpr(t *testing.T) {
+	g, info := build(t, `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func caller(v T) {
+	T.M(v)
+}
+`)
+	expectEdges(t, nodeNamed(t, g, "caller"), "static:M")
+	// ByFn round-trips: the edge's callee maps back to M's node.
+	e := nodeNamed(t, g, "caller").Calls[0]
+	if g.ByFn[e.Callee] == nil || g.ByFn[e.Callee].Decl.Name.Name != "M" {
+		t.Errorf("ByFn lookup of static callee failed")
+	}
+	_ = info
+}

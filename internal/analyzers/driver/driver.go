@@ -13,6 +13,7 @@ import (
 
 	"coolpim/internal/analyzers/allow"
 	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/facts"
 )
 
 // Unit is one package's worth of parsed, type-checked input.
@@ -35,11 +36,30 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
-// Run executes the analyzers on the unit, validates //coolpim:allow
-// directives against knownNames (reporting unknown or missing analyzer
-// names under allow.CheckerName), filters suppressed diagnostics, and
-// returns the survivors sorted by position.
+// Options tunes one driver run.
+type Options struct {
+	// Facts is the cross-package fact store shared across a sweep. Nil
+	// gets a fresh throwaway store, which is correct for purely
+	// intra-package runs but loses facts between packages.
+	Facts *facts.Store
+}
+
+// Run executes the analyzers on the unit with a throwaway fact store.
+// See RunOpts.
 func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding, error) {
+	return RunOpts(u, analyzers, knownNames, Options{})
+}
+
+// RunOpts executes the analyzers on the unit, validates //coolpim:allow
+// directives against knownNames (reporting unknown or missing analyzer
+// names under allow.CheckerName, and directives for analyzers that ran
+// but suppressed nothing as stale), filters suppressed diagnostics, and
+// returns the survivors sorted by position.
+func RunOpts(u Unit, analyzers []*analysis.Analyzer, knownNames []string, opts Options) ([]Finding, error) {
+	store := opts.Facts
+	if store == nil {
+		store = facts.NewStore(analyzers)
+	}
 	var findings []Finding
 	for _, a := range analyzers {
 		a := a
@@ -56,6 +76,8 @@ func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding
 					Message:  d.Message,
 				})
 			},
+			ExportFact: func(obj types.Object, f analysis.Fact) { store.Export(a.Name, obj, f) },
+			ImportFact: func(obj types.Object, f analysis.Fact) bool { return store.Import(a.Name, obj, f) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
@@ -67,6 +89,10 @@ func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding
 		known[n] = true
 	}
 	known[allow.CheckerName] = true
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 
 	directives := allow.Collect(u.Fset, u.Files)
 	for _, d := range directives {
@@ -86,12 +112,14 @@ func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding
 		}
 	}
 
+	used := make([]bool, len(directives))
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
-		for _, d := range directives {
+		for i, d := range directives {
 			if d.Suppresses(f.Analyzer, f.Pos) {
 				suppressed = true
+				used[i] = true
 				break
 			}
 		}
@@ -100,6 +128,23 @@ func Run(u Unit, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding
 		}
 	}
 	findings = kept
+
+	// Stale-directive audit: a well-formed directive naming an analyzer
+	// that ran in this pass must have suppressed at least one live
+	// diagnostic; otherwise the code it excused has changed and the
+	// exemption should be deleted. Directives naming analyzers that did
+	// not run (a -only subset) are left alone.
+	for i, d := range directives {
+		if used[i] || d.Name == "" || !ran[d.Name] {
+			continue
+		}
+		findings = append(findings, Finding{
+			Analyzer: allow.CheckerName,
+			Pos:      u.Fset.Position(d.Pos),
+			Message: fmt.Sprintf("stale //%s %s directive: it suppresses no diagnostic on line %d; delete it",
+				allow.Prefix, d.Name, d.Target),
+		})
+	}
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

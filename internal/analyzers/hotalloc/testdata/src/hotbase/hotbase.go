@@ -1,0 +1,16 @@
+// Package hotbase is the dependency side of the fact-propagation test:
+// it has no hotpath roots of its own, so analyzing it produces no
+// diagnostics — only exported facts for the dependent package to read.
+package hotbase
+
+type Gauge struct{ v int }
+
+// Add is allocation-free; its clean fact lets hot callers in other
+// packages use it.
+func (g *Gauge) Add(d int) { g.v += d }
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }
+
+// Alloc allocates; its dirty fact poisons hot callers.
+func Alloc(n int) []int { return make([]int, n) }

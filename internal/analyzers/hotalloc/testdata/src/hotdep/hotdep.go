@@ -1,0 +1,14 @@
+// Package hotdep is the consumer side of the fact-propagation test: its
+// hot function calls into hotbase, and the analyzer resolves those calls
+// through hotbase's exported facts.
+package hotdep
+
+import "coolpim/internal/hotbase"
+
+//coolpim:hotpath
+func Hot(g *hotbase.Gauge) int {
+	g.Add(1)
+	x := hotbase.Clean(2)
+	_ = hotbase.Alloc(3)
+	return x
+}

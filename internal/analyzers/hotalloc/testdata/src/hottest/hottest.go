@@ -1,0 +1,193 @@
+// Package hottest exercises the hotalloc analyzer: hotpath roots,
+// reachability, every allocation-site rule, the panic and allow escapes,
+// and the nilfast variant.
+package hottest
+
+import (
+	"math"
+	"sort"
+)
+
+type pair struct{ a, b int }
+
+type wrap struct{ p *pair }
+
+type doer interface{ Do() }
+
+// --- reachability -----------------------------------------------------
+
+//coolpim:hotpath
+func hotRoot() {
+	helper1()
+}
+
+func helper1() {
+	helper2()
+}
+
+func helper2() {
+	_ = make([]int, 8) // want "make allocates"
+}
+
+func coldFunc() {
+	_ = make([]int, 8) // no diagnostic: unreachable from any root
+}
+
+// --- builtins ---------------------------------------------------------
+
+//coolpim:hotpath
+func hotBuiltins(xs []int) []int {
+	xs = append(xs, 1)     // want "append may grow its backing array"
+	m := make(map[int]int) // want "make allocates"
+	_ = m
+	p := new(int) // want "new allocates"
+	_ = p
+	println("x") // want "println allocates"
+	return xs
+}
+
+// --- map writes -------------------------------------------------------
+
+//coolpim:hotpath
+func hotMap(m map[int]int) {
+	m[1] = 2 // want "map write may grow the map"
+	delete(m, 1)
+}
+
+// --- closures and method values --------------------------------------
+
+type tracer struct{ buf []int }
+
+//coolpim:hotpath
+func hotClosures(n int) func() int {
+	f := func() int { return 42 }
+	g := func() int { return n } // want `closure captures 1 variable\(s\)`
+	_ = f
+	return g
+}
+
+//coolpim:hotpath
+func hotMethodValue(t *tracer) {
+	_ = t.record // want "method value t.record allocates a bound-method closure"
+}
+
+// --- strings and conversions -----------------------------------------
+
+//coolpim:hotpath
+func hotString(a, b string, n int) string {
+	s := a + b    // want "string concatenation allocates"
+	s += a        // want "string concatenation allocates"
+	_ = []byte(a) // want "byte/rune slice conversion from a string allocates"
+	_ = string(n) // want "integer-to-string conversion allocates"
+	return s
+}
+
+//coolpim:hotpath
+func hotIfaceConv(v pair) any {
+	return any(v) // want "conversion to interface boxes a non-pointer value"
+}
+
+// --- call boundaries --------------------------------------------------
+
+func sink(x any) { _ = x }
+
+func variadicSink(xs ...int) int { return len(xs) }
+
+//coolpim:hotpath
+func hotBoxing(v pair, p *pair) {
+	sink(v) // want "argument boxes a non-pointer value into an interface parameter"
+	sink(p)
+	sink(3)
+	sink(wrap{p: p})
+}
+
+//coolpim:hotpath
+func hotVariadic(xs []int) int {
+	n := variadicSink(1, 2) // want `call packs 2 variadic argument\(s\) into a new slice`
+	n += variadicSink(xs...)
+	n += variadicSink()
+	return n
+}
+
+// --- composite literals ----------------------------------------------
+
+//coolpim:hotpath
+func hotComposites() {
+	_ = &pair{}       // want "address of composite literal escapes to the heap"
+	_ = []int{1, 2}   // want "slice literal allocates its backing array"
+	_ = map[int]int{} // want "map literal allocates"
+	v := pair{1, 2}
+	_ = v
+}
+
+// --- dynamic calls ----------------------------------------------------
+
+//coolpim:hotpath
+func hotDynamic(d doer, f func()) {
+	d.Do() // want "dynamic interface call Do cannot be proven allocation-free"
+	f()    // want "dynamic function-value call cannot be proven allocation-free"
+}
+
+// --- panic arguments are exempt --------------------------------------
+
+//coolpim:hotpath
+func hotPanic(ok bool, msg string) {
+	if !ok {
+		panic("hot invariant broken: " + msg) // concat inside panic: exempt
+	}
+}
+
+// --- allow keeps the fact clean --------------------------------------
+
+var ring []int
+
+//coolpim:hotpath
+func hotCallsAmortized() {
+	amortized(1) // no diagnostic: amortized's only site is allowed, so its fact is clean
+}
+
+func amortized(v int) {
+	//coolpim:allow hotalloc ring grows amortized-O(1); steady state reuses capacity
+	ring = append(ring, v)
+}
+
+// --- nilfast ----------------------------------------------------------
+
+//coolpim:hotpath nilfast disabled-path contract
+func (t *tracer) record(v int) {
+	if t == nil {
+		return
+	}
+	t.buf = append(t.buf, v) // enabled path is not analyzed
+}
+
+//coolpim:hotpath nilfast
+func (t *tracer) badGuard(v int) { // want "nilfast function .* must open with an"
+	t.buf = append(t.buf, v)
+}
+
+//coolpim:hotpath
+func hotUsesNilfast(t *tracer) {
+	t.record(9) // clean: nilfast methods are allocation-free for callers
+}
+
+// --- stdlib intrinsics ------------------------------------------------
+
+//coolpim:hotpath
+func hotStdlib(x float64, xs []int) int {
+	_ = math.Sqrt(x)
+	sort.Ints(xs) // want "calls sort.Ints, which is outside the allocation-free intrinsics table"
+	return sort.SearchInts(xs, 1)
+}
+
+// --- directive plumbing ----------------------------------------------
+
+func inline() { _ = make([]int, 1) } //coolpim:hotpath // want "make allocates"
+
+//coolpim:hotpath bogus // want `unknown argument "bogus"`
+func notARoot() {
+	_ = make([]int, 1) // no diagnostic: the malformed directive roots nothing
+}
+
+//coolpim:hotpath // want "attaches to no function: nothing starts on line"
+var notAFunc = 0

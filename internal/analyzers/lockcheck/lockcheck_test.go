@@ -1,0 +1,23 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"coolpim/internal/analyzers"
+	"coolpim/internal/analyzers/analysis"
+	"coolpim/internal/analyzers/analysistest"
+	"coolpim/internal/analyzers/lockcheck"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{lockcheck.Analyzer}
+}
+
+// TestLockcheck runs the full fixture. The gauge half of the fixture is
+// a true positive from this repository's own history: the campaign
+// runner's queue-depth gauge callback read a counter plainly while the
+// collector goroutine updated it — exactly the atomic-vs-plain mix the
+// analyzer flags (the runner now uses atomic.Int64).
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "locktest", "coolpim/internal/locktest", suite(), analyzers.Names())
+}

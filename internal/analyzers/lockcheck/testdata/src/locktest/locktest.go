@@ -1,0 +1,138 @@
+// Package locktest exercises the lockcheck analyzer: guarded-field
+// annotations (directive and prose forms), the lexical held set, the
+// //coolpim:locked caller-holds contract, constructor exemption,
+// atomic-vs-plain mixing, and atomic.Pointer snapshot immutability.
+package locktest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu    sync.Mutex
+	order []string       //coolpim:guard mu
+	byKey map[string]int // byKey is guarded by mu.
+	cap   int            // immutable after construction: no guard needed
+}
+
+func (t *table) good(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.order = append(t.order, k)
+	return t.byKey[k] + t.cap
+}
+
+func (t *table) bad(k string) int {
+	return t.byKey[k] // want "field byKey is guarded by mu; access without t.mu held"
+}
+
+func (t *table) unlockThenUse() {
+	t.mu.Lock()
+	t.order = t.order[:0]
+	t.mu.Unlock()
+	t.order = nil // want "field order is guarded by mu; access without t.mu held"
+}
+
+func (t *table) branchLock(c bool) {
+	if c {
+		t.mu.Lock()
+		t.order = nil
+		t.mu.Unlock()
+	}
+	_ = len(t.order) // want "field order is guarded by mu"
+}
+
+// row is called with t.mu already held; the directive makes that
+// contract checkable instead of a comment.
+//
+//coolpim:locked mu
+func (t *table) row(k string) int {
+	return t.byKey[k]
+}
+
+func newTable() *table {
+	t := &table{byKey: make(map[string]int)}
+	t.order = append(t.order, "seed") // unpublished: constructor exemption
+	return t
+}
+
+func (t *table) closureEscapes() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := func() {
+		t.order = nil // want "field order is guarded by mu"
+	}
+	f()
+}
+
+func (t *table) allowed() {
+	//coolpim:allow lockcheck single-writer setup phase before any reader goroutine starts
+	t.order = nil
+}
+
+type rw struct {
+	mu sync.RWMutex
+	n  int //coolpim:guard mu
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func (r *rw) badRead() int {
+	return r.n // want "field n is guarded by mu; access without r.mu held"
+}
+
+type badGuard struct {
+	x int //coolpim:guard nosuch // want `guard names "nosuch", which is not a field of this struct`
+}
+
+type badGuard2 struct {
+	g int
+	x int //coolpim:guard g // want `guard field "g" is not a sync.Mutex or sync.RWMutex`
+}
+
+//coolpim:locked mu // want "requires a method with a named receiver"
+func freeFunc() {}
+
+// gauge models the campaign runner's queue-depth race: the collector
+// goroutine updates depth atomically while the telemetry gauge callback
+// read it plainly from the scrape goroutine.
+type gauge struct{ depth int64 }
+
+func (g *gauge) jobDone() {
+	atomic.AddInt64(&g.depth, -1)
+}
+
+func (g *gauge) depthGauge() float64 {
+	return float64(g.depth) // want "field depth is accessed via sync/atomic elsewhere"
+}
+
+type snap struct{ Temp float64 }
+
+type server struct {
+	cur atomic.Pointer[snap]
+}
+
+func (s *server) publish(t float64) {
+	s.cur.Store(&snap{Temp: t})
+}
+
+func (s *server) badMutate(t float64) {
+	s.cur.Load().Temp = t // want "assignment through atomic.Pointer Load"
+}
+
+func (s *server) badMutateLocal(t float64) {
+	p := s.cur.Load()
+	p.Temp = t // want "assignment mutates p, a snapshot loaded from an atomic.Pointer"
+}
+
+func (s *server) goodCopyOnWrite(t float64) {
+	p := s.cur.Load()
+	next := *p
+	next.Temp = t
+	s.cur.Store(&next)
+}

@@ -56,11 +56,17 @@ func DefaultTiming() Timing {
 // Scale returns the timing set with every latency multiplied by f.
 // A 20 % frequency reduction corresponds to f = 1/0.8 = 1.25.
 func (t Timing) Scale(f float64) Timing {
-	s := func(x units.Time) units.Time { return units.Time(float64(x) * f) }
 	return Timing{
-		TCL: s(t.TCL), TRCD: s(t.TRCD), TRP: s(t.TRP), TRAS: s(t.TRAS),
-		TWR: s(t.TWR), TRFC: s(t.TRFC), TREFI: t.TREFI, // refresh interval is wall-clock, not frequency-scaled
-		TBurst64: s(t.TBurst64), TBurst16: s(t.TBurst16), TFU: s(t.TFU),
+		TCL:      units.Time(float64(t.TCL) * f),
+		TRCD:     units.Time(float64(t.TRCD) * f),
+		TRP:      units.Time(float64(t.TRP) * f),
+		TRAS:     units.Time(float64(t.TRAS) * f),
+		TWR:      units.Time(float64(t.TWR) * f),
+		TRFC:     units.Time(float64(t.TRFC) * f),
+		TREFI:    t.TREFI, // refresh interval is wall-clock, not frequency-scaled
+		TBurst64: units.Time(float64(t.TBurst64) * f),
+		TBurst16: units.Time(float64(t.TBurst16) * f),
+		TFU:      units.Time(float64(t.TFU) * f),
 	}
 }
 
@@ -101,7 +107,9 @@ func (p Phase) String() string {
 	case PhaseShutdown:
 		return "shutdown(>105°C)"
 	}
-	return fmt.Sprintf("Phase(%d)", int(p))
+	// Out-of-range phases only arise from a programming error; a constant
+	// fallback keeps String allocation-free on the thermal tick path.
+	return "phase(invalid)"
 }
 
 // PhaseForTemp maps a peak DRAM temperature to its operating phase.

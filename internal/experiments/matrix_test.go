@@ -33,7 +33,9 @@ func TestGraphConcurrentSingleInstance(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		//coolpim:allow determinism test-only concurrency probe of the graph cache; no simulation state involved
+		// Test-only concurrency probe of the graph cache; the analyzers
+		// skip _test.go files, so no allow directive is needed (one here
+		// would itself be flagged as stale).
 		go func(i int) {
 			defer wg.Done()
 			results[i] = p.Graph()

@@ -182,6 +182,18 @@ type GPU struct {
 	stats  Stats
 	tagSeq uint64
 	cycle  units.Time
+
+	// lineBuf and pimBuf are the per-op scratch buffers behind coalesce
+	// and aggregatePIM: the engine is single-threaded and both results
+	// are fully consumed before the next op issues, so one fixed array
+	// each replaces a map + slice allocation per memory op.
+	lineBuf [simt.WarpSize]uint64
+	pimBuf  [simt.WarpSize]pimPacket
+
+	// observeCb adapts observe to the cube's completion signature once at
+	// construction; fire-and-forget submissions (no-return PIM packets,
+	// dirty write-backs) share it instead of minting a closure per packet.
+	observeCb func(resp flit.Response, at units.Time)
 }
 
 // New builds a GPU wired to an engine, functional memory, HMC cube and
@@ -200,6 +212,7 @@ func New(eng *sim.Engine, space *mem.Space, cube *hmc.Cube, policy core.Policy, 
 		l2:     cache.New(cfg.L2),
 		cycle:  cfg.CycleTime(),
 	}
+	g.observeCb = func(resp flit.Response, _ units.Time) { g.observe(resp) }
 	for i := 0; i < cfg.NumSMs; i++ {
 		s := &smState{l1: cache.New(cfg.L1)}
 		for slot := 0; slot < cfg.MaxBlocksPerSM; slot++ {
@@ -305,7 +318,10 @@ func (g *GPU) startBlock(smID int) {
 	s.liveBlocks++
 	g.liveBlocks++
 
-	isPIM := g.policy.BlockLaunch()
+	// Everything allowed below is per-BLOCK setup: a block runs hundreds
+	// to thousands of warp ops, so these bounded allocations amortize to
+	// noise while the per-OP path above and below stays provably free.
+	isPIM := g.policy.BlockLaunch() //coolpim:allow hotalloc policy decision is inherently dynamic; implementations are token-pool counter arithmetic, once per block
 	fn := g.launch.Kernel
 	if !isPIM {
 		fn = g.launch.NonPIM
@@ -318,7 +334,7 @@ func (g *GPU) startBlock(smID int) {
 	if !isPIM {
 		spanName = g.spanNonPIM
 	}
-	b := &blockState{
+	b := &blockState{ //coolpim:allow hotalloc one block descriptor per thread block
 		id:       g.nextBlock,
 		isPIM:    isPIM,
 		sm:       smID,
@@ -332,9 +348,9 @@ func (g *GPU) startBlock(smID int) {
 	obs, hasObs := g.policy.(core.OccupancyObserver)
 	for w := 0; w < g.warpsPerBlock(); w++ {
 		if hasObs {
-			obs.ObserveWarpSlot(smID, slot*g.warpsPerBlock()+w)
+			obs.ObserveWarpSlot(smID, slot*g.warpsPerBlock()+w) //coolpim:allow hotalloc occupancy observation is inherently dynamic and runs once per warp launch
 		}
-		run := simt.StartWarp(fn, simt.Ctx{
+		run := simt.StartWarp(fn, simt.Ctx{ //coolpim:allow hotalloc starting the warp coroutine allocates its iter.Pull handoff once per warp
 			BlockID:     b.id,
 			WarpInBlock: w,
 			GlobalWarp:  b.id*g.warpsPerBlock() + w,
@@ -342,17 +358,20 @@ func (g *GPU) startBlock(smID int) {
 			GridDim:     g.launch.Blocks,
 		})
 		warpSlot := slot*g.warpsPerBlock() + w
-		wp := &warpState{gpu: g, block: b, run: run, slot: warpSlot}
-		wp.advanceEv = wp.advance
+		wp := &warpState{gpu: g, block: b, run: run, slot: warpSlot} //coolpim:allow hotalloc one warp descriptor per warp
+		wp.advanceEv = wp.advance                                    //coolpim:allow hotalloc bound once per warp; every scheduled op reuses it
+		wp.loadFinishEv = wp.loadFinish                              //coolpim:allow hotalloc bound once per warp; every blocking load reuses it
+		wp.asyncFinishEv = wp.asyncFinish                            //coolpim:allow hotalloc bound once per warp; every async load reuses it
+		wp.atomicResumeEv = wp.atomicResume                          //coolpim:allow hotalloc bound once per warp; every blocking atomic reuses it
 		g.eng.AfterLabel(0, g.label, wp.advanceEv)
 	}
 }
 
 func (g *GPU) blockDone(b *blockState, now units.Time) {
 	b.span.End(now)
-	g.policy.BlockComplete(b.isPIM)
+	g.policy.BlockComplete(b.isPIM) //coolpim:allow hotalloc policy completion hook is inherently dynamic and runs once per block
 	s := g.sms[b.sm]
-	s.freeSlots = append(s.freeSlots, b.slot)
+	s.freeSlots = append(s.freeSlots, b.slot) //coolpim:allow hotalloc returns the slot to a free list whose capacity New preallocated; the append never grows it
 	s.liveBlocks--
 	g.liveBlocks--
 	if g.nextBlock < g.launch.Blocks {
@@ -366,7 +385,7 @@ func (g *GPU) blockDone(b *blockState, now units.Time) {
 		done := g.launch.OnComplete
 		g.launch = nil
 		if done != nil {
-			done(now)
+			done(now) //coolpim:allow hotalloc launch-completion callback is inherently dynamic and fires once per kernel
 		}
 	}
 }
@@ -389,11 +408,32 @@ type warpState struct {
 	asyncPending int // outstanding line transactions
 	asyncIssue   units.Time
 	asyncWait    *simt.Op // non-nil while the warp is blocked in Wait
+
+	// loadOp/loadIssue/loadPending park a blocking load's completion
+	// state on the warp: the warp stalls until the load returns, so at
+	// most one is outstanding at a time and the pre-bound loadFinishEv
+	// replaces a capturing closure per load. atomicIssue/atomicPending
+	// do the same for blocking host atomics.
+	loadOp        *simt.Op
+	loadIssue     units.Time
+	loadPending   int
+	atomicIssue   units.Time
+	atomicPending int
+
+	// loadFinishEv, asyncFinishEv and atomicResumeEv are method values
+	// bound once at warp start, like advanceEv.
+	loadFinishEv   func(at units.Time)
+	asyncFinishEv  func(at units.Time)
+	atomicResumeEv func(at units.Time)
 }
 
-// advance resumes the warp: pull its next op and execute it.
+// advance resumes the warp: pull its next op and execute it. It is the
+// GPU's per-operation service path — every compute, load, store and
+// atomic of every warp flows through it.
+//
+//coolpim:hotpath
 func (w *warpState) advance(now units.Time) {
-	op, ok := w.run.Next()
+	op, ok := w.run.Next() //coolpim:allow hotalloc resuming the warp coroutine goes through iter.Pull's handoff, opaque to the analyzer; the resume itself is allocation-free
 	if !ok {
 		w.block.live--
 		if w.block.live == 0 {
@@ -437,44 +477,62 @@ func (w *warpState) advance(now units.Time) {
 }
 
 // coalesce groups the active lanes' addresses into unique 64-byte lines.
-func coalesce(op *simt.Op) []uint64 {
-	var lines []uint64
-	seen := make(map[uint64]struct{}, 4)
+// The result aliases g.lineBuf and is valid until the next coalesce; a
+// warp has at most WarpSize lines, so the linear dedup scan over the
+// fixed buffer replaces the old map + append (one map and one slice
+// allocation per memory op) with zero allocations.
+func (g *GPU) coalesce(op *simt.Op) []uint64 {
+	n := 0
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if !op.Mask.Lane(lane) {
 			continue
 		}
 		line := op.Addr[lane] &^ 63
-		if _, dup := seen[line]; !dup {
-			seen[line] = struct{}{}
-			lines = append(lines, line)
+		dup := false
+		for _, l := range g.lineBuf[:n] {
+			if l == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			g.lineBuf[n] = line
+			n++
 		}
 	}
-	return lines
+	return g.lineBuf[:n]
 }
 
 func (w *warpState) execLoad(op *simt.Op, issueAt units.Time) {
 	g := w.gpu
-	lines := coalesce(op)
+	lines := g.coalesce(op)
 	g.stats.LoadLines += uint64(len(lines))
-	remaining := len(lines)
-	finish := func(at units.Time) {
-		remaining--
-		if remaining > 0 {
-			return
-		}
-		g.stats.LoadWaitTotal += at - issueAt
-		// Deliver functional values at completion time.
-		for lane := 0; lane < simt.WarpSize; lane++ {
-			if op.Mask.Lane(lane) {
-				op.Out[lane] = g.space.Load32(op.Addr[lane])
-			}
-		}
-		w.advance(at)
-	}
+	w.loadOp = op
+	w.loadIssue = issueAt
+	w.loadPending = len(lines)
 	for _, line := range lines {
-		g.lineAccess(w.block.sm, line, false, issueAt, finish)
+		g.lineAccess(w.block.sm, line, false, issueAt, w.loadFinishEv)
 	}
+}
+
+// loadFinish retires one line transaction of the warp's blocking load;
+// the last one delivers the functional values and resumes the warp.
+func (w *warpState) loadFinish(at units.Time) {
+	w.loadPending--
+	if w.loadPending > 0 {
+		return
+	}
+	g := w.gpu
+	op := w.loadOp
+	w.loadOp = nil
+	g.stats.LoadWaitTotal += at - w.loadIssue
+	// Deliver functional values at completion time.
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if op.Mask.Lane(lane) {
+			op.Out[lane] = g.space.Load32(op.Addr[lane])
+		}
+	}
+	w.advance(at)
 }
 
 // execLoadAsync starts the line transactions of a software-pipelined
@@ -484,21 +542,24 @@ func (w *warpState) execLoadAsync(op *simt.Op, issueAt units.Time) {
 	w.asyncAddr = op.Addr
 	w.asyncMask = op.Mask
 	w.asyncIssue = issueAt
-	lines := coalesce(op)
+	lines := g.coalesce(op)
 	g.stats.LoadLines += uint64(len(lines))
 	w.asyncPending = len(lines)
-	finish := func(at units.Time) {
-		w.asyncPending--
-		if w.asyncPending > 0 || w.asyncWait == nil {
-			return
-		}
-		w.completeWait(at)
-	}
 	for _, line := range lines {
-		g.lineAccess(w.block.sm, line, false, issueAt, finish)
+		g.lineAccess(w.block.sm, line, false, issueAt, w.asyncFinishEv)
 	}
 	// The warp continues after the issue slot.
 	g.eng.At(issueAt+g.cycle, w.advanceEv)
+}
+
+// asyncFinish retires one line transaction of the warp's async load; if
+// the warp is already blocked in Wait, the last one resumes it.
+func (w *warpState) asyncFinish(at units.Time) {
+	w.asyncPending--
+	if w.asyncPending > 0 || w.asyncWait == nil {
+		return
+	}
+	w.completeWait(at)
 }
 
 func (w *warpState) execWait(op *simt.Op, issueAt units.Time) {
@@ -533,7 +594,7 @@ func (w *warpState) execStore(op *simt.Op, issueAt units.Time) {
 			g.space.Store32(op.Addr[lane], op.Val[lane])
 		}
 	}
-	lines := coalesce(op)
+	lines := g.coalesce(op)
 	g.stats.StoreLines += uint64(len(lines))
 	retire := issueAt + g.cfg.StoreLatency
 	for _, line := range lines {
@@ -554,7 +615,7 @@ func (w *warpState) execAtomic(op *simt.Op, issueAt units.Time) {
 	g := w.gpu
 	inPIMRegion := g.space.InPIMRegion(op.Addr[firstLane(op.Mask)])
 	offload := inPIMRegion && w.block.isPIM &&
-		g.policy.WarpPIMEnabled(w.block.sm, w.slot)
+		g.policy.WarpPIMEnabled(w.block.sm, w.slot) //coolpim:allow hotalloc PCU gate check is inherently dynamic; implementations read a counter or bitmask
 
 	if offload {
 		w.execPIMAtomic(op, issueAt)
@@ -586,14 +647,14 @@ func (w *warpState) execPIMAtomic(op *simt.Op, issueAt units.Time) {
 	g.stats.PIMLaneOps += uint64(op.Mask.Count())
 
 	if !op.NeedReturn {
-		packets := aggregatePIM(op)
+		packets := g.aggregatePIM(op)
 		retire := issueAt + g.cfg.StoreLatency
 		for _, p := range packets {
 			g.invalidateForPIM(p.addr)
 			g.tagSeq++
 			acceptedAt := g.submitAt(issueAt, flit.Request{
 				Tag: g.tagSeq, Cmd: cmd, Addr: p.addr, Imm: uint64(p.val), Imm2: uint64(p.cmp),
-			}, func(resp flit.Response, _ units.Time) { g.observe(resp) })
+			}, g.observeCb)
 			if acceptedAt > retire {
 				retire = acceptedAt
 			}
@@ -625,6 +686,7 @@ func (w *warpState) execPIMAtomic(op *simt.Op, issueAt units.Time) {
 			Imm2:       uint64(op.Cmp[lane]),
 			WithReturn: true,
 		}
+		//coolpim:allow hotalloc with-return PIM completion must carry its lane and the warp's shared countdown; one bounded allocation per returning lane, rare next to the no-return adds that dominate the Table III kernels
 		g.submitAt(issueAt, req, func(resp flit.Response, at units.Time) {
 			g.observe(resp)
 			op.Out[lane] = uint32(resp.Data)
@@ -646,10 +708,12 @@ type pimPacket struct {
 
 // aggregatePIM combines a no-return warp atomic's lanes into per-address
 // packets where the operation is combinable; non-combinable operations
-// (exch, CAS) stay one packet per lane.
-func aggregatePIM(op *simt.Op) []pimPacket {
-	var packets []pimPacket
-	idx := make(map[uint64]int, 4)
+// (exch, CAS) stay one packet per lane. The result aliases g.pimBuf and
+// is valid until the next aggregatePIM: a warp emits at most one packet
+// per active lane, so — as in coalesce — a linear scan over the fixed
+// buffer replaces the old map + append with zero allocations.
+func (g *GPU) aggregatePIM(op *simt.Op) []pimPacket {
+	n := 0
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if !op.Mask.Lane(lane) {
 			continue
@@ -659,38 +723,45 @@ func aggregatePIM(op *simt.Op) []pimPacket {
 			val = -val
 		}
 		addr := op.Addr[lane]
-		i, seen := idx[addr]
-		if !seen {
-			idx[addr] = len(packets)
-			packets = append(packets, pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]})
+		i := -1
+		for j := 0; j < n; j++ {
+			if g.pimBuf[j].addr == addr {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			g.pimBuf[n] = pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]}
+			n++
 			continue
 		}
 		switch op.Atomic {
 		case mem.AtomicAdd, mem.AtomicSub:
-			packets[i].val += val
+			g.pimBuf[i].val += val
 		case mem.AtomicFAdd:
-			f := math.Float32frombits(packets[i].val) + math.Float32frombits(val)
-			packets[i].val = math.Float32bits(f)
+			f := math.Float32frombits(g.pimBuf[i].val) + math.Float32frombits(val)
+			g.pimBuf[i].val = math.Float32bits(f)
 		case mem.AtomicMin:
-			if val < packets[i].val {
-				packets[i].val = val
+			if val < g.pimBuf[i].val {
+				g.pimBuf[i].val = val
 			}
 		case mem.AtomicMax:
-			if val > packets[i].val {
-				packets[i].val = val
+			if val > g.pimBuf[i].val {
+				g.pimBuf[i].val = val
 			}
 		case mem.AtomicAnd:
-			packets[i].val &= val
+			g.pimBuf[i].val &= val
 		case mem.AtomicOr:
-			packets[i].val |= val
+			g.pimBuf[i].val |= val
 		case mem.AtomicXor:
-			packets[i].val ^= val
+			g.pimBuf[i].val ^= val
 		default:
 			// Not combinable: emit a separate packet.
-			packets = append(packets, pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]})
+			g.pimBuf[n] = pimPacket{addr: addr, val: val, cmp: op.Cmp[lane]}
+			n++
 		}
 	}
-	return packets
+	return g.pimBuf[:n]
 }
 
 // execHostAtomic executes the warp atomic on the host path: functional
@@ -716,21 +787,15 @@ func (w *warpState) execHostAtomic(op *simt.Op, issueAt units.Time) {
 	// Atomics whose result the program consumes block the warp until the
 	// value returns; no-return atomics are posted — the warp continues
 	// once link credits clear, as on real GPUs.
-	lines := coalesce(op)
-	remaining := len(lines)
-	resume := func(at units.Time) {
-		remaining--
-		if remaining == 0 {
-			g.stats.AtomicWait += at - issueAt
-			w.advance(at)
-		}
-	}
+	lines := g.coalesce(op)
+	w.atomicIssue = issueAt
+	w.atomicPending = len(lines)
 	posted := !op.NeedReturn
 	retire := issueAt + g.cfg.StoreLatency
 	for _, line := range lines {
 		// The atomic executes at the L2: read-modify-write marks the
 		// line dirty; misses fetch from the HMC.
-		acceptedAt := g.l2AtomicAccess(line, issueAt, posted, resume)
+		acceptedAt := g.l2AtomicAccess(line, issueAt, posted, w.atomicResumeEv)
 		if acceptedAt > retire {
 			retire = acceptedAt
 		}
@@ -738,6 +803,18 @@ func (w *warpState) execHostAtomic(op *simt.Op, issueAt units.Time) {
 	if posted || len(lines) == 0 {
 		g.stats.AtomicStall += retire - issueAt
 		g.eng.At(retire, w.advanceEv)
+	}
+}
+
+// atomicResume retires one line transaction of the warp's blocking host
+// atomic; the last one resumes the warp. Posted atomics never invoke it
+// (the warp retired at credit-clear time).
+func (w *warpState) atomicResume(at units.Time) {
+	w.atomicPending--
+	if w.atomicPending == 0 {
+		g := w.gpu
+		g.stats.AtomicWait += at - w.atomicIssue
+		w.advance(at)
 	}
 }
 
@@ -753,11 +830,11 @@ func (g *GPU) l2AtomicAccess(line uint64, issueAt units.Time, posted bool, done 
 	}
 	g.tagSeq++
 	return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
-		func(resp flit.Response, at units.Time) {
+		func(resp flit.Response, at units.Time) { //coolpim:allow hotalloc miss-path completion must carry the line and fill state across the HMC round trip; one allocation per L2 miss, amortized by the miss latency
 			g.observe(resp)
 			g.fillL2(line, true)
 			if !posted {
-				done(at)
+				done(at) //coolpim:allow hotalloc completion callback is inherently dynamic; warp handlers are the pre-bound method values proven under the advance root
 			}
 		})
 }
@@ -777,10 +854,10 @@ func (g *GPU) lineAccess(smID int, line uint64, write bool, issueAt units.Time, 
 		}
 		g.tagSeq++
 		return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
-			func(resp flit.Response, at units.Time) {
+			func(resp flit.Response, at units.Time) { //coolpim:allow hotalloc miss-path completion must carry the line and fill state across the HMC round trip; one allocation per uncacheable-line L2 miss
 				g.observe(resp)
 				g.fillL2(line, write)
-				done(at)
+				done(at) //coolpim:allow hotalloc completion callback is inherently dynamic; warp handlers are the pre-bound method values proven under the advance root
 			})
 	}
 	l1 := g.sms[smID].l1
@@ -796,11 +873,11 @@ func (g *GPU) lineAccess(smID int, line uint64, write bool, issueAt units.Time, 
 	// L2 miss: fetch from the cube.
 	g.tagSeq++
 	return g.submitAt(issueAt+g.cfg.L2HitLatency, flit.Request{Tag: g.tagSeq, Cmd: flit.CmdRead64, Addr: line},
-		func(resp flit.Response, at units.Time) {
+		func(resp flit.Response, at units.Time) { //coolpim:allow hotalloc miss-path completion must carry the line and both fill targets across the HMC round trip; one allocation per L2 miss, amortized by the miss latency
 			g.observe(resp)
 			g.fillL2(line, false)
 			g.fillL1(l1, line, write)
-			done(at)
+			done(at) //coolpim:allow hotalloc completion callback is inherently dynamic; warp handlers are the pre-bound method values proven under the advance root
 		})
 }
 
@@ -827,8 +904,7 @@ func (g *GPU) fillL2(line uint64, dirty bool) {
 	if has && evDirty {
 		// Dirty L2 victim writes back to the cube (fire and forget).
 		g.tagSeq++
-		g.cube.Submit(g.eng.Now(), flit.Request{Tag: g.tagSeq, Cmd: flit.CmdWrite64, Addr: ev},
-			func(resp flit.Response, _ units.Time) { g.observe(resp) })
+		g.cube.Submit(g.eng.Now(), flit.Request{Tag: g.tagSeq, Cmd: flit.CmdWrite64, Addr: ev}, g.observeCb)
 	}
 }
 
@@ -842,6 +918,6 @@ func (g *GPU) submitAt(t units.Time, req flit.Request, done func(flit.Response, 
 // forwards it to the throttling policy.
 func (g *GPU) observe(resp flit.Response) {
 	if resp.ThermalWarning() {
-		g.policy.OnThermalWarning(g.eng.Now())
+		g.policy.OnThermalWarning(g.eng.Now()) //coolpim:allow hotalloc thermal-warning feedback fires only on ERRSTAT-flagged responses; handlers do bounded counter updates
 	}
 }

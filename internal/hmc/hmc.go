@@ -231,6 +231,10 @@ func (c *Cube) IsShutdown() bool { return c.shutdown }
 // (Table IV: 20 % frequency reduction per phase above 85 °C, doubled
 // refresh), raises the warning flag at the warning threshold, and shuts
 // the cube down above 105 °C.
+//
+// It runs once per thermal tick of every closed-loop run.
+//
+//coolpim:hotpath
 func (c *Cube) SetTemperature(now units.Time, temp units.Celsius) {
 	if c.DisableThermalEffects || c.shutdown {
 		return
@@ -246,7 +250,7 @@ func (c *Cube) SetTemperature(now units.Time, temp units.Celsius) {
 		c.shutTime = now
 		c.Trace.Shutdown(now, temp)
 		if c.OnShutdown != nil {
-			c.OnShutdown(now)
+			c.OnShutdown(now) //coolpim:allow hotalloc shutdown callback fires at most once per run, on the terminal overheat event
 		}
 		return
 	}
@@ -290,14 +294,20 @@ func (c *Cube) linkOf(vaultID int) int { return vaultID % c.cfg.Links }
 // is what bounds the inflow to a congested cube.
 // The request enters the link no earlier than at (which must not be in
 // the past).
+//
+// Submit is the cube's per-request service path: every read, write and
+// PIM packet of every workload flows through it.
+//
+//coolpim:hotpath
 func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Response, at units.Time)) (acceptedAt units.Time) {
 	now := max(c.eng.Now(), at)
 	if c.shutdown {
 		// Post-shutdown: the cube is unreachable until recovery; data is
 		// lost. Deliver an error response after the recovery delay so
 		// callers unblock eventually (experiments treat this as failure).
+		//coolpim:allow hotalloc post-shutdown error delivery; the cube is already off the performance path
 		c.eng.AtLabel(c.shutTime+c.cfg.RecoveryDelay, c.label, func(at units.Time) {
-			done(flit.Response{Tag: req.Tag, Cmd: req.Cmd, ErrStat: 0x7F}, at)
+			done(flit.Response{Tag: req.Tag, Cmd: req.Cmd, ErrStat: 0x7F}, at) //coolpim:allow hotalloc completion callback is inherently dynamic; rare post-shutdown path
 		})
 		return c.shutTime + c.cfg.RecoveryDelay
 	}
@@ -383,6 +393,7 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 	// bank queues differ.
 	busTime := units.Time(float64(c.timing.TBurst64) * float64(busBytes) / 64.0)
 	submitAt := now
+	//coolpim:allow hotalloc deferred-arbitration event must carry the request's routing and latency state to its data-ready time; one bounded allocation per in-flight request, inherent to event-driven completion
 	c.eng.AtLabel(dataAt, c.label, func(at units.Time) {
 		busStart := max(at, v.busBusy)
 		c.counters.BusQueueSum += busStart - at
@@ -401,12 +412,13 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 		case dram.PIMAccess:
 			c.counters.PIMLatencySum += deliver - submitAt
 		}
+		//coolpim:allow hotalloc response-delivery event must carry the response and completion callback; one bounded allocation per in-flight request
 		c.eng.AtLabel(deliver, c.label, func(at2 units.Time) {
 			if c.warning && !c.DisableThermalEffects {
 				resp.ErrStat = flit.ErrThermalWarning
 			}
 			sp.End(at2)
-			done(resp, at2)
+			done(resp, at2) //coolpim:allow hotalloc completion callback is inherently dynamic; the caller's handler is proven by its own hotpath root
 		})
 	})
 

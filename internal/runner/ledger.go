@@ -37,9 +37,9 @@ type Entry struct {
 // Append is a no-op.
 type Ledger struct {
 	mu   sync.Mutex
-	f    *os.File
-	done map[string]Entry // successful entries loaded on resume
-	path string
+	f    *os.File         //coolpim:guard mu
+	done map[string]Entry //coolpim:guard mu (successful entries loaded on resume)
+	path string           // immutable after OpenLedger
 }
 
 // OpenLedger opens (creating if needed) the ledger at path. With

@@ -42,6 +42,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coolpim/internal/telemetry"
@@ -469,7 +470,10 @@ func buildError[R any](ctx context.Context, results []Result[R]) error {
 // metrics is the campaign's telemetry hook. All mutation happens on the
 // collector goroutine; a nil *metrics (telemetry disabled) is a no-op.
 type metrics struct {
-	depth     int64
+	// depth is decremented by the collector goroutine and read by the
+	// registry's gauge callback from whichever goroutine serves a
+	// scrape, so it must be atomic.
+	depth     atomic.Int64
 	completed *telemetry.Counter
 	failed    *telemetry.Counter
 	retries   *telemetry.Counter
@@ -482,7 +486,8 @@ func newMetrics(tel *telemetry.Telemetry, queued int) *metrics {
 		return nil
 	}
 	reg := tel.Registry
-	m := &metrics{depth: int64(queued)}
+	m := &metrics{}
+	m.depth.Store(int64(queued))
 	m.completed = reg.Counter("runner_jobs_completed_total",
 		"campaign jobs that produced a final outcome (success or failure)")
 	m.failed = reg.Counter("runner_jobs_failed_total",
@@ -496,7 +501,7 @@ func newMetrics(tel *telemetry.Telemetry, queued int) *metrics {
 		telemetry.ExponentialBounds(0.01, 2, 16))
 	reg.GaugeFunc("runner_queue_depth",
 		"jobs dispatched to the campaign but not yet completed",
-		func() float64 { return float64(m.depth) })
+		func() float64 { return float64(m.depth.Load()) })
 	return m
 }
 
@@ -512,7 +517,7 @@ func (m *metrics) jobDone(err error, attempts int, wall time.Duration) {
 	if m == nil {
 		return
 	}
-	m.depth--
+	m.depth.Add(-1)
 	m.completed.Inc()
 	if err != nil {
 		m.failed.Inc()

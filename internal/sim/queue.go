@@ -45,7 +45,9 @@ type lane struct {
 
 func (l *lane) empty() bool { return l.head == len(l.items) }
 
-func (l *lane) push(it item) { l.items = append(l.items, it) }
+func (l *lane) push(it item) {
+	l.items = append(l.items, it) //coolpim:allow hotalloc amortized growth; the drained lane recycles its slice with capacity retained, and Reserve pre-sizes it
+}
 
 func (l *lane) pop() item {
 	it := l.items[l.head]
@@ -153,7 +155,7 @@ func (q *eventQueue) reserve(n int) {
 
 // heapPush inserts into the 4-ary heap with an inlined sift-up.
 func (q *eventQueue) heapPush(it item) {
-	h := append(q.heap, it)
+	h := append(q.heap, it) //coolpim:allow hotalloc amortized growth; heap capacity is retained across pops, and Reserve pre-sizes it
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2

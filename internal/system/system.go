@@ -373,6 +373,9 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	// nil tracer then returns an inert Span, keeping the tick path
 	// allocation-free (TestApplyPowerTickZeroAllocs pins this).
 	thermalTickName := spans.Name("thermal.tick")
+	// Per-tick power→thermal feedback; TestApplyPowerTickZeroAllocs
+	// pins the whole closure at zero allocations.
+	//coolpim:hotpath
 	applyPower := func(now units.Time, dt units.Time) {
 		sp := spans.StartSpan(now, thermalTickName)
 		temp := coupler.tick(dt)

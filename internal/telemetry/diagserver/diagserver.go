@@ -144,8 +144,8 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 // goroutines and OnRunDone from the collector goroutine.
 type RunTable struct {
 	mu    sync.Mutex
-	order []string
-	byKey map[string]*runRow
+	order []string           //coolpim:guard mu
+	byKey map[string]*runRow //coolpim:guard mu
 }
 
 type runRow struct {
@@ -162,6 +162,9 @@ func NewRunTable() *RunTable {
 	return &RunTable{byKey: make(map[string]*runRow)}
 }
 
+// row finds or inserts the row for key.
+//
+//coolpim:locked mu
 func (rt *RunTable) row(key string) *runRow {
 	r, ok := rt.byKey[key]
 	if !ok {

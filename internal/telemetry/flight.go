@@ -22,10 +22,10 @@ import (
 // abandoned deadline-exceeded attempt is still recording into it).
 type FlightRecorder struct {
 	mu   sync.Mutex
-	buf  []flightEntry
-	cap  int
-	next int // write position once the ring is full
-	seq  uint64
+	buf  []flightEntry //coolpim:guard mu
+	cap  int           // immutable after NewFlightRecorder
+	next int           //coolpim:guard mu (write position once the ring is full)
+	seq  uint64        //coolpim:guard mu
 }
 
 type flightEntry struct {
@@ -50,6 +50,8 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 // Record appends one entry; data must be a valid JSON object body
 // (comma-separated `"key":value` pairs) or empty. The oldest entry is
 // evicted once the ring is full.
+//
+//coolpim:hotpath nilfast disabled (nil) recorder returns before touching the ring
 func (f *FlightRecorder) Record(at units.Time, kind, data string) {
 	if f == nil {
 		return
@@ -70,6 +72,8 @@ func (f *FlightRecorder) Record(at units.Time, kind, data string) {
 // temperature after a coupler tick). Arguments are scalars so call
 // sites stay allocation-free; the JSON rendering happens here, on the
 // enabled path only.
+//
+//coolpim:hotpath nilfast disabled (nil) recorder skips the JSON rendering entirely
 func (f *FlightRecorder) Thermal(at units.Time, temp units.Celsius) {
 	if f == nil {
 		return
@@ -78,6 +82,8 @@ func (f *FlightRecorder) Thermal(at units.Time, temp units.Celsius) {
 }
 
 // Len returns the number of buffered entries.
+//
+//coolpim:hotpath nilfast disabled-recorder read is allocation-free
 func (f *FlightRecorder) Len() int {
 	if f == nil {
 		return 0
@@ -88,6 +94,8 @@ func (f *FlightRecorder) Len() int {
 }
 
 // Seq returns the sequence number of the most recent record (0 if none).
+//
+//coolpim:hotpath nilfast disabled-recorder read is allocation-free
 func (f *FlightRecorder) Seq() uint64 {
 	if f == nil {
 		return 0

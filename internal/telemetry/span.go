@@ -55,17 +55,17 @@ type spanRec struct {
 // with identical seeds still produce byte-identical span exports.
 type SpanTracer struct {
 	mu       sync.Mutex
-	names    []string // index = SpanName-1
-	nameIDs  map[string]SpanName
-	spans    []spanRec
-	nextID   SpanID
-	curRoot  SpanID // most recently started, still-open root span
-	maxSpans int
-	dropped  uint64
-	gaps     []nameGap // index = SpanName-1; zero gap = record every span
-	suppress uint64
-	wall     func() int64 // optional wall clock (UnixNano); nil = no stamps
-	flight   *FlightRecorder
+	names    []string            //coolpim:guard mu (index = SpanName-1)
+	nameIDs  map[string]SpanName //coolpim:guard mu
+	spans    []spanRec           //coolpim:guard mu
+	nextID   SpanID              //coolpim:guard mu
+	curRoot  SpanID              //coolpim:guard mu (most recently started, still-open root span)
+	maxSpans int                 //coolpim:guard mu
+	dropped  uint64              //coolpim:guard mu
+	gaps     []nameGap           //coolpim:guard mu (index = SpanName-1; zero gap = record every span)
+	suppress uint64              //coolpim:guard mu
+	wall     func() int64        //coolpim:guard mu (optional wall clock (UnixNano); nil = no stamps)
+	flight   *FlightRecorder     //coolpim:guard mu
 }
 
 // nameGap is the per-name sampling state installed by SetMinGap.
@@ -88,6 +88,8 @@ func NewSpanTracer() *SpanTracer {
 // itself — harness code that wants wall stamps (the campaign runner,
 // the diag server) passes its own reader, keeping simulation packages
 // free of timing syscalls. A nil fn disables wall stamping.
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *SpanTracer) SetWallClock(fn func() int64) {
 	if t == nil {
 		return
@@ -99,6 +101,8 @@ func (t *SpanTracer) SetWallClock(fn func() int64) {
 
 // SetFlight attaches a flight recorder that receives one record per
 // span closure (see FlightRecorder).
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *SpanTracer) SetFlight(fr *FlightRecorder) {
 	if t == nil {
 		return
@@ -110,6 +114,8 @@ func (t *SpanTracer) SetFlight(fr *FlightRecorder) {
 
 // SetMaxSpans caps the stored span count (further spans are dropped and
 // counted). Non-positive n keeps the current cap.
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *SpanTracer) SetMaxSpans(n int) {
 	if t == nil || n <= 0 {
 		return
@@ -131,6 +137,8 @@ func (t *SpanTracer) SetMaxSpans(n int) {
 // with bulk spans in its first few hundred microseconds and the rare
 // control-plane spans (throttle reactions) that arrive later are
 // silently dropped.
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *SpanTracer) SetMinGap(name SpanName, gap units.Time) {
 	if t == nil || name == 0 || gap <= 0 {
 		return
@@ -144,6 +152,8 @@ func (t *SpanTracer) SetMinGap(name SpanName, gap units.Time) {
 }
 
 // Suppressed returns how many spans SetMinGap sampling discarded.
+//
+//coolpim:hotpath nilfast disabled-tracer read is allocation-free
 func (t *SpanTracer) Suppressed() uint64 {
 	if t == nil {
 		return 0
@@ -156,6 +166,8 @@ func (t *SpanTracer) Suppressed() uint64 {
 // Name interns a span name and returns its handle. Interning the same
 // string twice returns the same handle. On a nil tracer (or for the
 // empty string) it returns the zero handle.
+//
+//coolpim:hotpath nilfast interning on a nil tracer returns the zero handle without allocating
 func (t *SpanTracer) Name(name string) SpanName {
 	if t == nil || name == "" {
 		return 0
@@ -184,6 +196,8 @@ type Span struct {
 // root: until it ends, StartSpan parents new spans under it. The engine
 // profile opens the "engine.run" root; campaign code opens one root per
 // campaign.
+//
+//coolpim:hotpath nilfast disabled tracer hands out the inert zero Span without allocating
 func (t *SpanTracer) StartRoot(at units.Time, name SpanName) Span {
 	if t == nil {
 		return Span{}
@@ -196,6 +210,8 @@ func (t *SpanTracer) StartRoot(at units.Time, name SpanName) Span {
 // root itself if none is open). Components on the simulation hot path
 // use this: their spans hang off the run's "engine.run" root without
 // the component having to thread the root's ID around.
+//
+//coolpim:hotpath nilfast disabled tracer hands out the inert zero Span without allocating (TestNilSpanTracerZeroAlloc pins this)
 func (t *SpanTracer) StartSpan(at units.Time, name SpanName) Span {
 	if t == nil {
 		return Span{}
@@ -206,6 +222,8 @@ func (t *SpanTracer) StartSpan(at units.Time, name SpanName) Span {
 // StartChild opens a span under an explicit parent (0 for a root
 // without current-root tracking). Use this to build causal edges that
 // cross components — e.g. a kernel span parenting its block spans.
+//
+//coolpim:hotpath nilfast disabled tracer hands out the inert zero Span without allocating
 func (t *SpanTracer) StartChild(at units.Time, name SpanName, parent SpanID) Span {
 	if t == nil {
 		return Span{}
@@ -250,6 +268,8 @@ func (t *SpanTracer) start(at units.Time, name SpanName, parent SpanID, root boo
 
 // ID returns the span's identifier (0 for the inert zero Span), for use
 // as an explicit parent in StartChild.
+//
+//coolpim:hotpath nilfast the inert zero Span reads no state
 func (s Span) ID() SpanID {
 	if s.t == nil {
 		return 0
@@ -261,6 +281,8 @@ func (s Span) ID() SpanID {
 }
 
 // End closes the span at simulated time at.
+//
+//coolpim:hotpath nilfast ending the inert zero Span is a no-op
 func (s Span) End(at units.Time) {
 	if s.t == nil {
 		return
@@ -290,6 +312,8 @@ func (s Span) End(at units.Time) {
 }
 
 // nameStr resolves a name handle; callers hold t.mu.
+//
+//coolpim:locked mu
 func (t *SpanTracer) nameStr(n SpanName) string {
 	if n == 0 || int(n) > len(t.names) {
 		return ""
@@ -298,6 +322,8 @@ func (t *SpanTracer) nameStr(n SpanName) string {
 }
 
 // Len returns the number of recorded spans.
+//
+//coolpim:hotpath nilfast disabled-tracer read is allocation-free
 func (t *SpanTracer) Len() int {
 	if t == nil {
 		return 0
@@ -308,6 +334,8 @@ func (t *SpanTracer) Len() int {
 }
 
 // Dropped returns how many spans the in-memory cap discarded.
+//
+//coolpim:hotpath nilfast disabled-tracer read is allocation-free
 func (t *SpanTracer) Dropped() uint64 {
 	if t == nil {
 		return 0

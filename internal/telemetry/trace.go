@@ -88,6 +88,8 @@ func NewTracer() *Tracer {
 // SetMinGap rate-limits a kind: events closer than gap to the previously
 // emitted event of the same kind are counted but not recorded. Used for
 // high-frequency conditions (link backpressure can fire per request).
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *Tracer) SetMinGap(kind EventKind, gap units.Time) {
 	if t == nil {
 		return
@@ -97,6 +99,8 @@ func (t *Tracer) SetMinGap(kind EventKind, gap units.Time) {
 
 // SetFlight attaches a flight recorder that receives a copy of every
 // recorded (non-suppressed, non-dropped) event.
+//
+//coolpim:hotpath nilfast wiring setter; nil tracer returns immediately
 func (t *Tracer) SetFlight(fr *FlightRecorder) {
 	if t == nil {
 		return
@@ -128,6 +132,8 @@ func (t *Tracer) emit(at units.Time, kind EventKind, data string) {
 
 // Emit records a generic event; data must be a valid JSON object body
 // (comma-separated `"key":value` pairs) or empty.
+//
+//coolpim:hotpath nilfast disabled (nil) tracer emits are no-ops (TestNilTracerZeroAlloc pins this)
 func (t *Tracer) Emit(at units.Time, kind EventKind, data string) {
 	if t == nil {
 		return
@@ -137,6 +143,8 @@ func (t *Tracer) Emit(at units.Time, kind EventKind, data string) {
 
 // ThermalWarning records the cube raising (raised=true) or clearing the
 // thermal-warning state.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) ThermalWarning(at units.Time, raised bool, temp units.Celsius) {
 	if t == nil {
 		return
@@ -149,6 +157,8 @@ func (t *Tracer) ThermalWarning(at units.Time, raised bool, temp units.Celsius) 
 }
 
 // PhaseTransition records a DRAM derating phase change.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) PhaseTransition(at units.Time, from, to string, temp units.Celsius) {
 	if t == nil {
 		return
@@ -157,6 +167,8 @@ func (t *Tracer) PhaseTransition(at units.Time, from, to string, temp units.Cels
 }
 
 // Shutdown records a thermal shutdown.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) Shutdown(at units.Time, temp units.Celsius) {
 	if t == nil {
 		return
@@ -165,6 +177,8 @@ func (t *Tracer) Shutdown(at units.Time, temp units.Celsius) {
 }
 
 // PoolInit records a throttling mechanism's initial capacity.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) PoolInit(at units.Time, mechanism string, size int) {
 	if t == nil {
 		return
@@ -173,6 +187,8 @@ func (t *Tracer) PoolInit(at units.Time, mechanism string, size int) {
 }
 
 // PoolResize records one control update of a throttling mechanism.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) PoolResize(at units.Time, mechanism string, from, to int, reason string) {
 	if t == nil {
 		return
@@ -182,6 +198,8 @@ func (t *Tracer) PoolResize(at units.Time, mechanism string, from, to int, reaso
 }
 
 // OffloadBlock records a block-launch offload decision.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) OffloadBlock(at units.Time, accepted bool, sm, block int) {
 	if t == nil {
 		return
@@ -195,6 +213,8 @@ func (t *Tracer) OffloadBlock(at units.Time, accepted bool, sm, block int) {
 
 // LinkBackpressure records credit flow control delaying acceptance on a
 // link by wait.
+//
+//coolpim:hotpath nilfast disabled-tracer emit is a no-op
 func (t *Tracer) LinkBackpressure(at units.Time, link int, wait units.Time) {
 	if t == nil {
 		return
@@ -203,6 +223,8 @@ func (t *Tracer) LinkBackpressure(at units.Time, link int, wait units.Time) {
 }
 
 // Len returns the number of recorded events.
+//
+//coolpim:hotpath nilfast disabled-tracer read is allocation-free
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -211,6 +233,8 @@ func (t *Tracer) Len() int {
 }
 
 // Dropped returns how many events the in-memory cap discarded.
+//
+//coolpim:hotpath nilfast disabled-tracer read is allocation-free
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0

@@ -430,6 +430,8 @@ func (m *Model) schedule(d units.Time) (nFull int, rem float64) {
 
 // Step advances the transient solution by d, subdividing into an
 // integer count of stable Euler substeps plus one remainder substep.
+//
+//coolpim:hotpath
 func (m *Model) Step(d units.Time) {
 	nFull, rem := m.schedule(d)
 	for s := 0; s < nFull; s++ {
@@ -499,6 +501,11 @@ func (m *Model) sinkFlux(t []float64) float64 {
 // sweeps performed, or -1 if the iteration did not converge (callers
 // must surface that as an error rather than read a half-converged
 // field).
+//
+// SolveSteady and SolveSteadySOR are the steady-state solver hot path,
+// entered once per sweep point of the figure campaigns.
+//
+//coolpim:hotpath
 func (m *Model) SolveSteady() int { return m.SolveSteadySOR(1) }
 
 // SolveSteadySOR is SolveSteady with a successive-over-relaxation
@@ -506,6 +513,8 @@ func (m *Model) SolveSteady() int { return m.SolveSteadySOR(1) }
 // bit-identical to the reference solver; factors above 1 can converge
 // in fewer sweeps on the analytic sweep workloads. It panics on a
 // factor outside (0, 2), for which SOR is not convergent.
+//
+//coolpim:hotpath
 func (m *Model) SolveSteadySOR(omega float64) int {
 	if omega <= 0 || omega >= 2 {
 		panic(fmt.Sprintf("thermal: SOR factor %g outside (0, 2)", omega))
