@@ -53,6 +53,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "graph seed")
 	reps := flag.Int("reps", 2, "workload repetitions")
 	cooling := flag.String("cooling", "commodity", "cooling: "+strings.Join(thermal.CoolingNames(), ", "))
+	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
+	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
+	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
 	traceOut := flag.String("trace-out", "", "write the telemetry event trace as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format to this file")
 	seriesOut := flag.String("series-out", "", "write the telemetry time series as CSV to this file")
@@ -86,8 +89,22 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	mode, err := system.ParseThermalMode(*thermalMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *powerDelta < 0 {
+		fatalf("-power-delta must be non-negative (got %v)", *powerDelta)
+	}
+	if *maxThermalInterval < 0 {
+		fatalf("-max-thermal-interval must be non-negative (got %v)", *maxThermalInterval)
+	}
+
 	cfg := experiments.ScaledConfig(*scale)
 	cfg.Cooling = cool
+	cfg.ThermalMode = mode
+	cfg.PowerDeltaThreshold = units.Watt(*powerDelta)
+	cfg.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" ||

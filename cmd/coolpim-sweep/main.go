@@ -39,8 +39,10 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
 	runnerpkg "coolpim/internal/runner"
+	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
 	"coolpim/internal/telemetry/diagserver"
+	"coolpim/internal/units"
 )
 
 func main() {
@@ -64,6 +66,9 @@ func run() int {
 	interruptAfter := flag.Int("interrupt-after", 0, "test hook: exit(3) after N executed runs, simulating a mid-campaign kill")
 	diagAddr := flag.String("diag-addr", "", "serve live campaign diagnostics over HTTP on this address")
 	flightDir := flag.String("flight-dir", "", "dump the flight ring of panicking/deadline-blown runs into this directory")
+	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
+	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
+	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -80,6 +85,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
 		return 2
 	}
+	mode, err := system.ParseThermalMode(*thermalMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *powerDelta < 0 || *maxThermalInterval < 0 {
+		fmt.Fprintln(os.Stderr, "-power-delta and -max-thermal-interval must be non-negative")
+		return 2
+	}
+	// The coupling knobs are part of the profile hash, so a ledger
+	// recorded under one tier is never silently reused by the other.
+	prof.Sys.ThermalMode = mode
+	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
+	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
 	workloads := splitList(*workloadsFlag)
 	var policies []core.PolicyKind
 	for _, name := range splitList(*policiesFlag) {

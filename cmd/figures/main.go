@@ -23,6 +23,7 @@ import (
 	"coolpim/internal/dram"
 	"coolpim/internal/experiments"
 	"coolpim/internal/runner"
+	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
 	"coolpim/internal/telemetry/diagserver"
 	"coolpim/internal/units"
@@ -37,6 +38,9 @@ func main() {
 	ledgerPath := flag.String("ledger", "", "JSONL run ledger for the system matrix (checkpointing)")
 	resume := flag.Bool("resume", false, "reuse completed matrix runs from the ledger (requires -ledger)")
 	diagAddr := flag.String("diag-addr", "", "serve live matrix diagnostics over HTTP on this address")
+	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (byte-identical committed figures) or adaptive (interval-based, epsilon-bounded exploration)")
+	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
+	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
 	flag.Parse()
 
 	if *resume && *ledgerPath == "" {
@@ -45,6 +49,18 @@ func main() {
 	}
 
 	prof := profileByName(*profileName)
+	mode, err := system.ParseThermalMode(*thermalMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *powerDelta < 0 || *maxThermalInterval < 0 {
+		fmt.Fprintln(os.Stderr, "-power-delta and -max-thermal-interval must be non-negative")
+		os.Exit(2)
+	}
+	prof.Sys.ThermalMode = mode
+	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
+	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
 
 	analyticIDs := []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5"}
 	systemIDs := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "ablations"}

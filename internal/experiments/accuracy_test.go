@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"coolpim/internal/core"
+)
+
+// accuracyProfile resolves the campaign profile for the epsilon
+// harness. Unit tests run the reduced test profile; `make
+// accuracy-check` sets COOLPIM_ACCURACY_PROFILE=paper to re-run the
+// same contract at campaign scale.
+func accuracyProfile(t *testing.T) (Profile, bool) {
+	t.Helper()
+	switch name := os.Getenv("COOLPIM_ACCURACY_PROFILE"); name {
+	case "":
+		return TestProfile(), false
+	case "test":
+		return TestProfile(), true
+	case "quick":
+		return QuickProfile(), true
+	case "paper":
+		return PaperProfile(), true
+	case "full":
+		return FullProfile(), true
+	default:
+		t.Fatalf("unknown COOLPIM_ACCURACY_PROFILE %q", name)
+		return Profile{}, false
+	}
+}
+
+// TestAdaptiveMatrixWithinEpsilon is the system-level half of the
+// epsilon-bounded differential proof (DESIGN.md §6c): the campaign
+// matrix under -thermal-mode=adaptive must reproduce every figure-level
+// decision quantity of the exact tier within DefaultAccuracyTolerance.
+// The default run compares the thermally interesting corner of the
+// matrix (the offloading policies, including both throttled controllers)
+// on the test profile; COOLPIM_ACCURACY_PROFILE widens it to the full
+// matrix at campaign scale.
+func TestAdaptiveMatrixWithinEpsilon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system comparison run")
+	}
+	p, fullMatrix := accuracyProfile(t)
+	opts := MatrixOpts{
+		Workloads: []string{"dc", "sssp-twc", "pagerank"},
+		Policies: []core.PolicyKind{
+			core.NaiveOffloading, core.CoolPIMSW, core.CoolPIMHW,
+		},
+	}
+	if fullMatrix {
+		opts = MatrixOpts{} // every workload × every policy
+	}
+	rep, err := CompareThermalModes(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(DefaultAccuracyTolerance()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("empty comparison report")
+	}
+	t.Logf("profile=%s cells=%d exact=%v adaptive=%v speedup=%.2fx maxPeakDrift=%.3f°C maxRuntimeDrift=%.3g",
+		rep.Profile, len(rep.Cells), rep.ExactWall, rep.AdaptiveWall,
+		rep.Speedup(), float64(rep.MaxPeakDrift()), rep.MaxRuntimeDrift())
+}
+
+// TestFig14AdaptiveWithinEpsilon pins the closed-loop time series: the
+// adaptive tier must keep every figure-level series quantity — sample
+// count, sample instants, per-policy mean offload rate, pool-size
+// agreement, and the plotted temperature envelope — within
+// DefaultAccuracyTolerance of the exact tier.
+func TestFig14AdaptiveWithinEpsilon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system comparison run")
+	}
+	p, _ := accuracyProfile(t)
+	drifts, err := CompareFig14(p, "sssp-twc", DefaultAccuracyTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drifts {
+		t.Logf("%-16v samplesΔ=%d meanRateRel=%.3g maxPeakDrift=%.3f°C poolMismatches=%d",
+			d.Policy, d.SampleDelta, d.MeanRateRel, float64(d.MaxPeakDrift), d.PoolMismatches)
+	}
+}

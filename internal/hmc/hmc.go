@@ -132,6 +132,7 @@ type Cube struct {
 	reqLinks  []*serializer
 	respLinks []*serializer
 	vaults    []*vault
+	freeReq   *reqState // recycled in-flight request states (reqstate.go)
 
 	phase    dram.Phase
 	timing   dram.Timing // derated per phase
@@ -305,9 +306,12 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 		// Post-shutdown: the cube is unreachable until recovery; data is
 		// lost. Deliver an error response after the recovery delay so
 		// callers unblock eventually (experiments treat this as failure).
+		// Only scalar copies are captured — capturing req itself would
+		// force the request parameter to heap on the live path too.
+		tag, cmd := req.Tag, req.Cmd
 		//coolpim:allow hotalloc post-shutdown error delivery; the cube is already off the performance path
 		c.eng.AtLabel(c.shutTime+c.cfg.RecoveryDelay, c.label, func(at units.Time) {
-			done(flit.Response{Tag: req.Tag, Cmd: req.Cmd, ErrStat: 0x7F}, at) //coolpim:allow hotalloc completion callback is inherently dynamic; rare post-shutdown path
+			done(flit.Response{Tag: tag, Cmd: cmd, ErrStat: 0x7F}, at) //coolpim:allow hotalloc completion callback is inherently dynamic; rare post-shutdown path
 		})
 		return c.shutTime + c.cfg.RecoveryDelay
 	}
@@ -388,39 +392,21 @@ func (c *Cube) Submit(at units.Time, req flit.Request, done func(resp flit.Respo
 	}
 
 	// 4. TSV bus and response serialization are arbitrated when the data
-	// is actually ready — booking them at submit time would impose
-	// artificial head-of-line blocking across in-flight requests whose
-	// bank queues differ.
-	busTime := units.Time(float64(c.timing.TBurst64) * float64(busBytes) / 64.0)
-	submitAt := now
-	//coolpim:allow hotalloc deferred-arbitration event must carry the request's routing and latency state to its data-ready time; one bounded allocation per in-flight request, inherent to event-driven completion
-	c.eng.AtLabel(dataAt, c.label, func(at units.Time) {
-		busStart := max(at, v.busBusy)
-		c.counters.BusQueueSum += busStart - at
-		busDone := busStart + busTime
-		v.busBusy = busDone
-		if busy := c.respLinks[lid].busyUntil; busy > busDone {
-			c.counters.RespQueueSum += busy - busDone
-		}
-		respStart := c.respLinks[lid].book(busDone, respFlits)
-		deliver := respStart + c.cfg.LinkLatency
-		switch kind {
-		case dram.ReadAccess:
-			c.counters.ReadLatencySum += deliver - submitAt
-		case dram.WriteAccess:
-			c.counters.WriteLatencySum += deliver - submitAt
-		case dram.PIMAccess:
-			c.counters.PIMLatencySum += deliver - submitAt
-		}
-		//coolpim:allow hotalloc response-delivery event must carry the response and completion callback; one bounded allocation per in-flight request
-		c.eng.AtLabel(deliver, c.label, func(at2 units.Time) {
-			if c.warning && !c.DisableThermalEffects {
-				resp.ErrStat = flit.ErrThermalWarning
-			}
-			sp.End(at2)
-			done(resp, at2) //coolpim:allow hotalloc completion callback is inherently dynamic; the caller's handler is proven by its own hotpath root
-		})
-	})
+	// is actually ready (reqState.dataReady) — booking them at submit
+	// time would impose artificial head-of-line blocking across
+	// in-flight requests whose bank queues differ. The in-flight state
+	// rides a pooled reqState, not per-request closures.
+	r := c.getReq()
+	r.v = v
+	r.lid = lid
+	r.kind = kind
+	r.respFlits = respFlits
+	r.busTime = units.Time(float64(c.timing.TBurst64) * float64(busBytes) / 64.0)
+	r.submitAt = now
+	r.resp = resp
+	r.sp = sp
+	r.done = done
+	c.eng.AtLabel(dataAt, c.label, r.dataFn)
 
 	// Credit flow control: acceptance lags a congested bank.
 	acceptedAt = arrive

@@ -43,6 +43,22 @@ type Config struct {
 	// ThermalTick is the coupling interval between the activity
 	// counters, power model and RC network.
 	ThermalTick units.Time
+	// ThermalMode selects the coupling tier: ThermalExact (default,
+	// byte-identical figure outputs) steps the RC network every tick;
+	// ThermalAdaptive folds quasi-static ticks into coalesced implicit
+	// advances, trading bit-identity for the epsilon bound pinned by the
+	// accuracy harness. Sweeps and benchmarks opt into adaptive; figure
+	// reproduction must stay exact.
+	ThermalMode ThermalMode
+	// PowerDeltaThreshold is the adaptive tier's per-node (per vault
+	// cell) injection change, in watts, above which a tick breaks the
+	// quasi-static window and forces an immediate exact solve
+	// (0 → defaultPowerDelta).
+	PowerDeltaThreshold units.Watt
+	// MaxThermalInterval caps the adaptive tier's coalesced window so
+	// throttle-reaction latency is never deferred past it
+	// (0 → defaultMaxIntervalTicks × ThermalTick).
+	MaxThermalInterval units.Time
 	// SampleInterval is the time-series sampling period (Fig. 14).
 	SampleInterval units.Time
 	// LaunchOverhead is the host-side gap between kernel launches.
@@ -286,7 +302,8 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		}
 		return core.WarnNormal
 	}
-	coupler := newThermalCoupler(cube, model, cfg.Power, cfg.Stack)
+	coupler := newThermalCoupler(cube, model, cfg)
+	coupler.setSpans(spans)
 	finished := false
 	cube.OnShutdown = func(now units.Time) {
 		res.Shutdown = true
@@ -361,6 +378,21 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		reg.GaugeFunc("coolpim_peak_dram_celsius",
 			"hottest DRAM temperature observed so far",
 			func() float64 { return float64(res.PeakDRAM) })
+		reg.CounterFunc("coolpim_thermal_skipped_ticks_total",
+			"thermal ticks folded into a coalesced window without a solve (adaptive mode)",
+			func() float64 { return float64(coupler.stats().Skipped) })
+		reg.CounterFunc("coolpim_thermal_solves_total",
+			"real thermal advances, exact steps plus coalesced fast solves",
+			func() float64 { return float64(coupler.stats().Solves) })
+		reg.CounterFunc("coolpim_thermal_fast_solves_total",
+			"coalesced implicit (fast-tier) thermal advances",
+			func() float64 { return float64(coupler.stats().Fast) })
+		reg.GaugeFunc("coolpim_thermal_skip_rate",
+			"fraction of coupling ticks skipped by the adaptive tier",
+			func() float64 { return coupler.skipRate() })
+		reg.GaugeFunc("coolpim_thermal_stale_peak_error_celsius",
+			"accumulated |peak-DRAM| staleness introduced by skipped thermal ticks",
+			func() float64 { return coupler.stats().StaleErr })
 		tempHist = reg.Histogram("coolpim_dram_temp_celsius",
 			"peak DRAM temperature sampled every thermal tick",
 			telemetry.LinearBounds(60, 2.5, 20))
@@ -378,7 +410,7 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	//coolpim:hotpath
 	applyPower := func(now units.Time, dt units.Time) {
 		sp := spans.StartSpan(now, thermalTickName)
-		temp := coupler.tick(dt)
+		temp := coupler.tick(now, dt)
 		if temp > res.PeakDRAM {
 			res.PeakDRAM = temp
 		}
@@ -408,10 +440,13 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 		rate := units.OpsPerNs(float64(d.PIMOps) / dt.Nanoseconds())
 		pimRateHist.Observe(float64(rate))
 		res.Series = append(res.Series, Sample{
-			At:       now,
-			PIMRate:  rate,
-			ExtBW:    units.BytesPerSecond(float64(d.ExtDataBytes) / dt.Seconds()),
-			PeakDRAM: model.PeakDRAM(),
+			At:      now,
+			PIMRate: rate,
+			ExtBW:   units.BytesPerSecond(float64(d.ExtDataBytes) / dt.Seconds()),
+			// observe, not model.PeakDRAM(): in adaptive mode the raw
+			// model is up to a skip horizon stale; plotted samples must
+			// be freshly solved values.
+			PeakDRAM: coupler.observe(),
 			PoolSize: poolSize(),
 		})
 		lastSampleAt = now
@@ -449,7 +484,9 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 			return float64(dTel.ExtDataBytes) / sampleEvery.Seconds() / 1e9
 		})
 		tel.Series.AddColumn("peak_dram_c", func(units.Time) float64 {
-			return float64(model.PeakDRAM())
+			// Fresh solved value, not the (possibly stale) raw model
+			// state — see the Result.Series sampler.
+			return float64(coupler.observe())
 		})
 		tel.Series.AddColumn("pool_size", func(units.Time) float64 {
 			return float64(poolSize())
@@ -498,6 +535,12 @@ func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *grap
 	if res.Shutdown {
 		res.Runtime = eng.Now()
 		flushTail(res.Runtime)
+	}
+
+	// Flush any thermal window the adaptive coupler still holds so the
+	// reported peak reflects every joule injected (no-op in exact mode).
+	if temp := coupler.drain(); temp > res.PeakDRAM {
+		res.PeakDRAM = temp
 	}
 
 	ctr := cube.Counters()

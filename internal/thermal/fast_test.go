@@ -1,0 +1,311 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"coolpim/internal/units"
+)
+
+// fastStacks is the fast-tier test matrix: both stack geometries under
+// every Table II cooling solution.
+func fastStacks() []StackConfig { return []StackConfig{HMC20Stack(), HMC11Stack()} }
+
+// injectRandomPower loads a randomized but reproducible power pattern:
+// uniform static floors plus per-cell dynamic hotspots, the same shape
+// the coupled system injects.
+func injectRandomPower(m *Model, rng *rand.Rand) {
+	m.ClearPower()
+	cfg := m.Config()
+	m.AddLayerPower(0, units.Watt(5+15*rng.Float64()))
+	for l := 1; l <= cfg.DRAMDies; l++ {
+		m.AddLayerPower(l, units.Watt(0.2+1.5*rng.Float64()))
+	}
+	for k := 0; k < 4; k++ {
+		x, y := rng.Intn(cfg.GridW), rng.Intn(cfg.GridH)
+		m.AddCellPower(0, x, y, units.Watt(2*rng.Float64()))
+	}
+}
+
+// maxNodeDiff returns the largest per-node absolute temperature
+// difference between two models of the same geometry.
+func maxNodeDiff(a, b *Model) float64 {
+	maxd := 0.0
+	for i := range a.temp {
+		if d := math.Abs(a.temp[i] - b.temp[i]); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// steadyEpsilon is the pinned fast-tier steady-state accuracy bound:
+// FastSolve at its default tolerance must agree with the exact
+// Gauss-Seidel solver to within this per-node bound. Measured worst
+// case across the matrix below is ~1e-4 °C; the bound carries a 20×
+// margin and still sits three orders below any figure-level decision
+// quantity. Tightening fastTol tightens this bound with it.
+const steadyEpsilon = 2e-3
+
+func TestFastSolveMatchesSteadyEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, stack := range fastStacks() {
+		for _, cool := range Coolings() {
+			for trial := 0; trial < 3; trial++ {
+				exact := New(stack, cool)
+				fast := New(stack, cool)
+				injectRandomPower(exact, rand.New(rand.NewSource(rng.Int63())))
+				// Same pattern into the fast model.
+				copy(fast.power, exact.power)
+				if sw := exact.SolveSteady(); sw < 0 {
+					t.Fatalf("%s/%s: exact solver did not converge", stack.Name, cool.Name)
+				}
+				if sw := fast.FastSolve(0); sw < 0 {
+					t.Fatalf("%s/%s: FastSolve did not converge", stack.Name, cool.Name)
+				}
+				if d := maxNodeDiff(exact, fast); d > steadyEpsilon {
+					t.Errorf("%s/%s trial %d: max |dT| = %.3e exceeds the %.0e steady bound",
+						stack.Name, cool.Name, trial, d, steadyEpsilon)
+				}
+				if d := math.Abs(float64(exact.PeakDRAM() - fast.PeakDRAM())); d > steadyEpsilon {
+					t.Errorf("%s/%s trial %d: peak-DRAM diff %.3e exceeds the steady bound",
+						stack.Name, cool.Name, trial, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFastSolveBeatsGaussSeidel pins the point of the fast steady tier:
+// red-black SOR at fastOmega must converge in well under half the
+// reference Gauss-Seidel sweep count on every stack × cooling cell (the
+// measured advantage is 4–10×; the 2× assertion leaves headroom for
+// platform noise, not for regressions to plain GS).
+func TestFastSolveBeatsGaussSeidel(t *testing.T) {
+	for _, stack := range fastStacks() {
+		for _, cool := range Coolings() {
+			exact := New(stack, cool)
+			fast := New(stack, cool)
+			injectRandomPower(exact, rand.New(rand.NewSource(11)))
+			copy(fast.power, exact.power)
+			gs := exact.SolveSteady()
+			rb := fast.FastSolve(0)
+			if gs < 0 || rb < 0 {
+				t.Fatalf("%s/%s: non-convergence (gs=%d rb=%d)", stack.Name, cool.Name, gs, rb)
+			}
+			if rb*2 >= gs {
+				t.Errorf("%s/%s: FastSolve took %d sweeps vs Gauss-Seidel %d — fast tier lost its advantage",
+					stack.Name, cool.Name, rb, gs)
+			}
+		}
+	}
+}
+
+// transientEpsilon is the pinned fast-tier transient accuracy bound:
+// StepFast over coalesced windows must track the exact explicit
+// trajectory within this per-node bound at every window boundary, even
+// through the steepest settling transient. Backward Euler's first-order
+// damping error scales with the slew rate, so the worst case here is
+// the stress pattern below — maximal power density (HMC1.1's small
+// grid) under the weakest cooling, slewing hundreds of °C — where the
+// measured worst is ~2.0 °C. The bound is absolute for that stress
+// level; at paper-figure operating points the same relative error is an
+// order of magnitude smaller, and the adaptive coupler additionally
+// forces the exact tier inside a guard band below WarnTemp so throttle
+// decisions never ride on mid-transient fast-tier values.
+const transientEpsilon = 2.5
+
+// settledEpsilon bounds the residual fast-vs-exact difference once the
+// trajectory reaches quasi-steady state (measured worst ~0.14 °C on the
+// same stress pattern; ~6e-3 °C at figure-level powers).
+const settledEpsilon = 0.2
+
+func TestStepFastTracksExactTransient(t *testing.T) {
+	for _, stack := range fastStacks() {
+		for _, cool := range Coolings() {
+			exact := New(stack, cool)
+			fast := New(stack, cool)
+			injectRandomPower(exact, rand.New(rand.NewSource(23)))
+			copy(fast.power, exact.power)
+			const tick = 10 * units.Microsecond
+			const window = 100 * units.Microsecond
+			worst := 0.0
+			for w := 0; w < 100; w++ {
+				for i := 0; i < 10; i++ {
+					exact.Step(tick)
+				}
+				if sw := fast.StepFast(window, 0); sw < 0 {
+					t.Fatalf("%s/%s: StepFast did not converge in window %d", stack.Name, cool.Name, w)
+				}
+				if d := maxNodeDiff(exact, fast); d > worst {
+					worst = d
+				}
+			}
+			if worst > transientEpsilon {
+				t.Errorf("%s/%s: trajectory max |dT| = %.3e exceeds the %.2f transient bound",
+					stack.Name, cool.Name, worst, transientEpsilon)
+			}
+			if d := maxNodeDiff(exact, fast); d > settledEpsilon {
+				t.Errorf("%s/%s: settled |dT| = %.3e exceeds the %.2f settled bound",
+					stack.Name, cool.Name, d, settledEpsilon)
+			}
+		}
+	}
+}
+
+// TestStepFastZeroWidth pins that a zero or negative advance is a
+// no-op, not a degenerate solve.
+func TestStepFastZeroWidth(t *testing.T) {
+	m := New(HMC20Stack(), CommodityServer)
+	m.AddLayerPower(0, 20)
+	m.Step(10 * units.Microsecond)
+	before := append([]float64(nil), m.temp...)
+	if sw := m.StepFast(0, 0); sw != 0 {
+		t.Errorf("StepFast(0) performed %d sweeps", sw)
+	}
+	if sw := m.StepFast(-units.Microsecond, 0); sw != 0 {
+		t.Errorf("StepFast(-1us) performed %d sweeps", sw)
+	}
+	for i := range before {
+		if m.temp[i] != before[i] {
+			t.Fatalf("zero-width StepFast moved node %d", i)
+		}
+	}
+}
+
+// TestStepFastZeroAllocs pins the warm transient fast path at zero
+// allocations per coalesced advance — it replaces the exact Step on the
+// adaptive coupling's hot path and must not regress the zero-alloc
+// thermal tick.
+func TestStepFastZeroAllocs(t *testing.T) {
+	m := New(HMC20Stack(), CommodityServer)
+	m.AddLayerPower(0, 20)
+	for l := 1; l <= 8; l++ {
+		m.AddLayerPower(l, 1.3)
+	}
+	m.StepFast(100*units.Microsecond, 0) // warm
+	if avg := testing.AllocsPerRun(50, func() {
+		m.StepFast(100*units.Microsecond, 0)
+	}); avg != 0 {
+		t.Errorf("StepFast allocates %.1f per advance, want 0", avg)
+	}
+}
+
+// TestFastSolveZeroAllocs pins the steady fast solver at zero
+// allocations after construction.
+func TestFastSolveZeroAllocs(t *testing.T) {
+	m := New(HMC11Stack(), HighEndActive)
+	m.AddLayerPower(0, 10)
+	m.FastSolve(0)
+	if avg := testing.AllocsPerRun(10, func() {
+		m.AddLayerPower(0, 0.01)
+		m.FastSolve(0)
+	}); avg != 0 {
+		t.Errorf("FastSolve allocates %.1f per solve, want 0", avg)
+	}
+}
+
+// TestFastParallelBitIdentical pins the fast tier's parallel
+// determinism argument: on a grid large enough to cross
+// parallelThreshold, the chunk-parallel color sweeps must produce
+// bit-identical temperatures to the serial sweeps — red-black ordering
+// means same-color updates are independent, so scheduling cannot change
+// the values, and the max-delta reduction is grouping-insensitive.
+func TestFastParallelBitIdentical(t *testing.T) {
+	stack := HMC20Stack()
+	stack.GridW, stack.GridH = 72, 72 // 5184 cells × 9 layers ≈ 46.7k nodes
+	stack.SinkCap = 1.0               // keep the big sink's time constant test-sized
+	build := func() *Model {
+		m := New(stack, CommodityServer)
+		m.AddLayerPower(0, 200)
+		for l := 1; l <= stack.DRAMDies; l++ {
+			m.AddLayerPower(l, 20)
+		}
+		m.AddCellPower(0, 3, 5, 40)
+		return m
+	}
+	if perColor := (build().nNodes - 1) / 2; perColor < parallelThreshold {
+		t.Fatalf("test grid too small to engage the parallel tier: %d per color < %d",
+			perColor, parallelThreshold)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := build()
+	serialSweeps := serial.StepFast(200*units.Microsecond, 0)
+	runtime.GOMAXPROCS(4)
+	parallel := build()
+	parallelSweeps := parallel.StepFast(200*units.Microsecond, 0)
+	runtime.GOMAXPROCS(prev)
+
+	if serialSweeps != parallelSweeps {
+		t.Errorf("sweep counts diverge: serial %d, parallel %d", serialSweeps, parallelSweeps)
+	}
+	for i := range serial.temp {
+		if math.Float64bits(serial.temp[i]) != math.Float64bits(parallel.temp[i]) {
+			t.Fatalf("node %d: serial %x != parallel %x — parallel sweep is not bit-identical",
+				i, math.Float64bits(serial.temp[i]), math.Float64bits(parallel.temp[i]))
+		}
+	}
+}
+
+// TestScalePower pins the energy-folding primitive the interval coupler
+// uses: scaling accumulated energy down to a window average.
+func TestScalePower(t *testing.T) {
+	m := New(HMC11Stack(), Passive)
+	m.AddLayerPower(0, 12)
+	m.AddLayerPower(2, 4)
+	m.ScalePower(0.25)
+	if got, want := float64(m.TotalPower()), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled total power %.6f, want %.6f", got, want)
+	}
+	m.ScalePower(0)
+	if got := float64(m.TotalPower()); got != 0 {
+		t.Errorf("zero-scaled power %v, want 0", got)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ScalePower(%v) did not panic", bad)
+				}
+			}()
+			m.ScalePower(bad)
+		}()
+	}
+}
+
+// TestColoringIsBipartite verifies the red-black invariant the whole
+// fast tier rests on: no stencil edge joins two nodes of the same
+// color (padding self-edges and the uncolored sink/ambient boundary
+// excepted).
+func TestColoringIsBipartite(t *testing.T) {
+	for _, stack := range fastStacks() {
+		m := New(stack, CommodityServer)
+		color := make([]int, m.nNodes-1)
+		for pos, n := range m.rbOrder {
+			if pos < m.nRed {
+				color[n] = 0
+			} else {
+				color[n] = 1
+			}
+		}
+		if len(m.rbOrder) != m.nNodes-1 {
+			t.Fatalf("%s: coloring covers %d of %d cell nodes", stack.Name, len(m.rbOrder), m.nNodes-1)
+		}
+		sink := m.sinkNode()
+		for i := 0; i < sink; i++ {
+			for _, e := range m.edges[i*edgesPerCell : (i+1)*edgesPerCell] {
+				j := int(e.j)
+				if e.g == 0 || j >= sink { // padding, sink or ambient
+					continue
+				}
+				if color[i] == color[j] {
+					t.Fatalf("%s: edge %d-%d joins two %s nodes", stack.Name, i, j,
+						[]string{"red", "black"}[color[i]])
+				}
+			}
+		}
+	}
+}

@@ -198,6 +198,16 @@ type Model struct {
 	maxStep float64
 	plan    stepPlan
 
+	// Fast-tier state (fast.go): red-black node order (red prefix, then
+	// black; the sink is relaxed outside the color sweeps) and the
+	// per-chunk reduction scratch of the parallel path.
+	rbOrder  []int32
+	nRed     int
+	chunkMax []float64
+	// fastMaxStep bounds one implicit substep of StepFast (seconds):
+	// half the sink node's time constant, the network's slowest mode.
+	fastMaxStep float64
+
 	// peakDRAM caches the hottest DRAM-node temperature. eulerStep
 	// maintains it incrementally while writing the new field; solvers
 	// that update in place invalidate it instead.
@@ -245,12 +255,14 @@ func New(cfg StackConfig, cooling Cooling) *Model {
 		}
 	}
 	m.buildStencil()
+	m.buildColoring()
 
 	// Stability bound: dt < C / ΣG at the stiffest node. A cell can see
 	// two vertical, four lateral, one spread and one rim conductance.
 	gMaxCell := 2*m.gVert + 4*m.gLat + m.gSpread + m.gRim
 	gMaxSink := float64(m.nCells)*m.gSpread + m.gSink
 	m.maxStep = 0.5 * math.Min(cfg.CellCap/gMaxCell, cfg.SinkCap/gMaxSink)
+	m.fastMaxStep = 0.5 * cfg.SinkCap / m.gTot[m.sinkNode()]
 	return m
 }
 
