@@ -37,8 +37,11 @@ lint:
 lint-fixtures:
 	$(GO) test ./internal/analyzers/... ./cmd/coolpim-vet
 
+# -timeout 20m: under the race detector the internal/system suite runs
+# ~15x slower and exceeds go test's default 10m per-package limit on
+# small (1-2 core) hosts.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # bench writes a dated machine-readable benchmark snapshot (one pass per
 # benchmark; the paper-figure benchmarks report their headline quantity
@@ -56,11 +59,13 @@ BENCH_NEXT := $(shell n=$$(ls BENCH_[0-9]*.json 2>/dev/null | wc -l); echo $$((n
 BENCH_SUBSTRATE := ^(BenchmarkEventEngine|BenchmarkCubeReadThroughput|BenchmarkCubePIMThroughput)$$
 BENCH_THERMAL := ^(BenchmarkThermalStep|BenchmarkSolveSteady|BenchmarkFastSolve|BenchmarkStepFast)$$
 BENCH_COUPLER := ^BenchmarkApplyPowerTick(Adaptive)?$$
+BENCH_CLUSTER := ^(BenchmarkShardedEngine|BenchmarkMultiCubeSystem)$$
 
 bench-json:
 	@( $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem . && \
 	   $(GO) test -run '^$$' -bench '$(BENCH_THERMAL)' -benchmem . && \
 	   $(GO) test -run '^$$' -bench '$(BENCH_COUPLER)' -benchmem ./internal/system && \
+	   $(GO) test -run '^$$' -bench '$(BENCH_CLUSTER)' -benchtime 3x -benchmem . && \
 	   $(GO) test -run '^$$' -bench '^BenchmarkFig10Speedup$$/^dc$$/^Naive-Offloading$$' -benchtime 3x . \
 	 ) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_NEXT).json
 
@@ -70,6 +75,7 @@ bench-json:
 bench-smoke:
 	( $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)|$(BENCH_THERMAL)|^(BenchmarkDRAMBankSchedule|BenchmarkCacheAccess|BenchmarkPowerModel)$$' \
 		-benchtime 100x -benchmem . && \
+	  $(GO) test -run '^$$' -bench '$(BENCH_CLUSTER)' -benchtime 1x -benchmem . && \
 	  $(GO) test -run '^$$' -bench '$(BENCH_COUPLER)' -benchtime 100x -benchmem ./internal/system \
 	) | $(GO) run ./cmd/benchjson
 

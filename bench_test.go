@@ -413,3 +413,76 @@ func BenchmarkBFSReference(b *testing.B) {
 		graph.BFSLevels(g, src)
 	}
 }
+
+// BenchmarkShardedEngine measures the conservative-parallel cluster on
+// synthetic traffic: each of 4 domains runs a self-rescheduling local
+// event chain and sends a cross-shard message every 16th event. The
+// serial sub-bench is the retained reference driver (shards=1), the
+// sharded one the parallel barrier scheme (one worker per domain);
+// results are byte-identical between the two by construction, so the
+// pair isolates the engine overhead/scaling. On a single-core host the
+// sharded variant only measures barrier overhead — see DESIGN.md §12.
+func BenchmarkShardedEngine(b *testing.B) {
+	const domains = 4
+	const lookahead = 32 * units.Nanosecond
+	run := func(b *testing.B, shards int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl, err := sim.NewCluster(lookahead, domains)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.SetShards(shards)
+			var fired [domains]int
+			for d := 0; d < domains; d++ {
+				d := d
+				var step func(now units.Time)
+				step = func(now units.Time) {
+					fired[d]++
+					if fired[d]%16 == 0 {
+						cl.Send(d, (d+1)%domains, now+lookahead, func(units.Time) {})
+					}
+					if fired[d] < 4096 {
+						cl.Domain(d).At(now+10*units.Nanosecond, step)
+					}
+				}
+				cl.Domain(d).At(units.Time(d+1)*units.Nanosecond, step)
+			}
+			cl.RunUntil(1 * units.Millisecond)
+			for d := 0; d < domains; d++ {
+				if fired[d] != 4096 {
+					b.Fatalf("domain %d fired %d events", d, fired[d])
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkMultiCubeSystem runs the full 4-cube chain platform (one dc
+// workload replica per cube, CoolPIM-HW policy) end to end, serial
+// reference vs sharded. The scaling curve in DESIGN.md §12 comes from
+// this benchmark at GOMAXPROCS >= 4.
+func BenchmarkMultiCubeSystem(b *testing.B) {
+	g := graph.GenRMAT(11, 8, graph.LDBCLikeParams(), 7)
+	cfg := experiments.ScaledConfig(11)
+	cfg.Net = hmc.DefaultNetworkConfig()
+	cfg.Net.Cubes = 4
+	run := func(b *testing.B, shards int) {
+		cfg := cfg
+		cfg.Net.Shards = shards
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := system.Run("dc", core.CoolPIMHW, cfg, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.VerifyErr != nil {
+				b.Fatal(res.VerifyErr)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded", func(b *testing.B) { run(b, 0) })
+}

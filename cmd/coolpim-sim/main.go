@@ -37,6 +37,7 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
 	"coolpim/internal/graph"
+	"coolpim/internal/hmc"
 	"coolpim/internal/kernels"
 	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
@@ -53,6 +54,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "graph seed")
 	reps := flag.Int("reps", 2, "workload repetitions")
 	cooling := flag.String("cooling", "commodity", "cooling: "+strings.Join(thermal.CoolingNames(), ", "))
+	cubes := flag.Int("cubes", 1, "number of HMC cubes (>1 networks them and runs one workload replica per cube)")
+	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
+	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
+	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
 	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
 	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
 	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
@@ -105,6 +110,11 @@ func main() {
 	cfg.ThermalMode = mode
 	cfg.PowerDeltaThreshold = units.Watt(*powerDelta)
 	cfg.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
+	cfg.Net, err = hmc.FlagConfig(*cubes, *topology,
+		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" ||
@@ -162,12 +172,21 @@ func main() {
 	g := graph.GenRMAT(*scale, *edgeFactor, graph.LDBCLikeParams(), *seed)
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumV, g.NumE())
 
-	w, err := kernels.NewSized(*workload, *reps)
-	if err != nil {
-		fatalf("%v", err)
+	ws := make([]kernels.Workload, cfg.Net.Cubes)
+	for i := range ws {
+		w, err := kernels.NewSized(*workload, *reps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ws[i] = w
 	}
-	fmt.Printf("running %s under %v with %s...\n\n", w.Name(), pol, cool.Name)
-	res, err := system.RunWorkload(w, pol, cfg, g)
+	if cfg.Net.Enabled() {
+		fmt.Printf("running %s under %v with %s on %d %s-linked cubes...\n\n",
+			ws[0].Name(), pol, cool.Name, cfg.Net.Cubes, cfg.Net.Topology)
+	} else {
+		fmt.Printf("running %s under %v with %s...\n\n", ws[0].Name(), pol, cool.Name)
+	}
+	res, err := system.RunWorkloads(ws, pol, cfg, g)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
@@ -241,6 +260,28 @@ func printResult(r *system.Result) {
 	fmt.Printf("warp ops:          %d (divergence ratio %.2f)\n", g.WarpOps, g.DivergenceRatio())
 	fmt.Printf("atomics:           %d PIM lanes, %d host lanes\n", g.PIMLaneOps, g.HostLaneOps)
 	fmt.Printf("blocks:            %d PIM, %d non-PIM\n", g.PIMBlocks, g.NonPIMBlocks)
+	if len(r.PerCube) > 0 {
+		fmt.Printf("\nper-cube results (%d cubes):\n", len(r.PerCube))
+		fmt.Printf("%-6s %-14s %-9s %-10s %-12s %-9s %-6s %-9s\n",
+			"cube", "runtime", "launches", "pim ops", "ext bytes", "peak(°C)", "warns", "shutdown")
+		for _, pc := range r.PerCube {
+			fmt.Printf("%-6d %-14v %-9d %-10d %-12d %-9.1f %-6d %-9v\n",
+				pc.Node, pc.Runtime, pc.Launches, pc.PIMOps, pc.ExtDataBytes,
+				float64(pc.PeakDRAM), pc.WarningsSeen, pc.Shutdown)
+		}
+	}
+	if len(r.Links) > 0 {
+		fmt.Println("\ninter-cube link FLIT occupancy:")
+		fmt.Printf("%-8s %-10s %-10s %-12s %-14s\n", "link", "packets", "flits", "bytes", "avg queue")
+		for _, ls := range r.Links {
+			avgQ := units.Time(0)
+			if ls.Counters.Packets > 0 {
+				avgQ = ls.QueueSum / units.Time(ls.Counters.Packets)
+			}
+			fmt.Printf("%d->%-5d %-10d %-10d %-12d %-14v\n",
+				ls.Src, ls.Dst, ls.Counters.Packets, ls.Counters.Flits, ls.Counters.Bytes, avgQ)
+		}
+	}
 	if r.Shutdown {
 		fmt.Println("STATUS:            THERMAL SHUTDOWN — the cube exceeded 105°C")
 	} else if r.VerifyErr != nil {

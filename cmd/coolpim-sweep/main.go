@@ -38,6 +38,7 @@ import (
 
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
+	"coolpim/internal/hmc"
 	runnerpkg "coolpim/internal/runner"
 	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
@@ -69,6 +70,10 @@ func run() int {
 	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
 	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
 	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
+	cubes := flag.Int("cubes", 1, "number of HMC cubes per run (>1 networks them, one workload replica per cube)")
+	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
+	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
+	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -99,6 +104,15 @@ func run() int {
 	prof.Sys.ThermalMode = mode
 	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
 	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
+	// The network config is part of the profile name and hash, so a
+	// single-cube ledger is never resumed into a multi-cube campaign.
+	net, err := hmc.FlagConfig(*cubes, *topology,
+		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	prof = experiments.MultiCubeProfile(prof, net)
 	workloads := splitList(*workloadsFlag)
 	var policies []core.PolicyKind
 	for _, name := range splitList(*policiesFlag) {

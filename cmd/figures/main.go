@@ -22,6 +22,7 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/dram"
 	"coolpim/internal/experiments"
+	"coolpim/internal/hmc"
 	"coolpim/internal/runner"
 	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
@@ -41,6 +42,10 @@ func main() {
 	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (byte-identical committed figures) or adaptive (interval-based, epsilon-bounded exploration)")
 	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
 	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
+	cubes := flag.Int("cubes", 1, "number of HMC cubes per run (>1 networks them, one workload replica per cube)")
+	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
+	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
+	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
 	flag.Parse()
 
 	if *resume && *ledgerPath == "" {
@@ -61,6 +66,15 @@ func main() {
 	prof.Sys.ThermalMode = mode
 	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
 	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
+	// Folded into the profile name and config hash: multi-cube figure
+	// runs are ledgered and reported separately from single-cube ones.
+	net, err := hmc.FlagConfig(*cubes, *topology,
+		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof = experiments.MultiCubeProfile(prof, net)
 
 	analyticIDs := []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5"}
 	systemIDs := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "ablations"}

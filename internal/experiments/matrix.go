@@ -10,6 +10,7 @@ import (
 
 	"coolpim/internal/core"
 	"coolpim/internal/graph"
+	"coolpim/internal/hmc"
 	"coolpim/internal/kernels"
 	"coolpim/internal/runner"
 	"coolpim/internal/system"
@@ -191,6 +192,42 @@ type MatrixOpts struct {
 // or panicking constructors into the campaign path.
 var newSized = kernels.NewSized
 
+// MultiCubeProfile derives a multi-cube variant of a base profile: the
+// same graph and platform with `net` cubes joined by its link topology,
+// one workload replica per node. The derived name (e.g.
+// "paper-4xchain") keeps ledgers and result files distinct from the
+// single-cube campaign's.
+func MultiCubeProfile(base Profile, net hmc.NetworkConfig) Profile {
+	p := base
+	p.Sys.Net = net
+	if net.Enabled() {
+		p.Name = fmt.Sprintf("%s-%dx%s", base.Name, net.Cubes, net.Topology)
+	}
+	return p
+}
+
+// runCell executes one campaign cell: a single-cube run, or — when the
+// profile configures a multi-cube network — one workload replica per
+// cube node on the sharded engine.
+func runCell(p Profile, wl string, pol core.PolicyKind, sys system.Config, g *graph.Graph) (*system.Result, error) {
+	if !sys.Net.Enabled() {
+		w, err := newSized(wl, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		return system.RunWorkload(w, pol, sys, g)
+	}
+	ws := make([]kernels.Workload, sys.Net.Cubes)
+	for i := range ws {
+		w, err := newSized(wl, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return system.RunWorkloads(ws, pol, sys, g)
+}
+
 // matrixKey names one campaign cell in errors, ledgers and hooks.
 func matrixKey(wl string, pol core.PolicyKind) string { return wl + "/" + pol.String() }
 
@@ -244,17 +281,13 @@ func RunMatrixOpts(ctx context.Context, p Profile, o MatrixOpts) ([]Row, error) 
 				Key:    matrixKey(wl, pol),
 				Flight: flight,
 				Run: func(context.Context) (*system.Result, error) {
-					w, err := newSized(wl, p.Reps)
-					if err != nil {
-						return nil, err
-					}
 					sys := p.Sys
 					if flight != nil && sys.Telemetry == nil {
 						tel := telemetry.New()
 						tel.Flight = flight
 						sys.Telemetry = tel
 					}
-					res, err := system.RunWorkload(w, pol, sys, g)
+					res, err := runCell(p, wl, pol, sys, g)
 					if err != nil {
 						return nil, err
 					}
@@ -357,11 +390,7 @@ func Fig14Series(p Profile, workload string) (map[core.PolicyKind][]system.Sampl
 		jobs = append(jobs, runner.Job[[]system.Sample]{
 			Key: matrixKey(workload, pol),
 			Run: func(context.Context) ([]system.Sample, error) {
-				w, err := newSized(workload, p.Reps)
-				if err != nil {
-					return nil, err
-				}
-				res, err := system.RunWorkload(w, pol, p.Sys, g)
+				res, err := runCell(p, workload, pol, p.Sys, g)
 				if err != nil {
 					return nil, err
 				}

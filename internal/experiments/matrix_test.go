@@ -14,6 +14,7 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/gpu"
 	"coolpim/internal/graph"
+	"coolpim/internal/hmc"
 	"coolpim/internal/kernels"
 	"coolpim/internal/mem"
 	"coolpim/internal/runner"
@@ -323,5 +324,53 @@ func TestFig14SeriesMatchesSerialRuns(t *testing.T) {
 				t.Fatalf("%v: sample %d differs: parallel %+v, serial %+v", pol, i, series[i], want[i])
 			}
 		}
+	}
+}
+
+// TestMultiCubeMatrix wires the experiments layer through the
+// multi-cube path: MultiCubeProfile folds the network into the profile
+// name and config hash (so ledgers from single-cube campaigns cannot
+// be resumed into multi-cube ones), and a campaign cell runs one
+// workload replica per cube with per-cube results on the row.
+func TestMultiCubeMatrix(t *testing.T) {
+	base := TestProfile()
+	net := hmc.DefaultNetworkConfig()
+	net.Cubes = 2
+	p := MultiCubeProfile(base, net)
+	if want := base.Name + "-2xchain"; p.Name != want {
+		t.Errorf("derived name = %q, want %q", p.Name, want)
+	}
+	baseHash, err := base.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcHash, err := p.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseHash == mcHash {
+		t.Error("multi-cube network config not folded into the config hash")
+	}
+
+	rows, err := RunMatrix(p, []string{"dc"}, []core.PolicyKind{core.NaiveOffloading}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rows[0].Results[core.NaiveOffloading]
+	if len(res.PerCube) != net.Cubes {
+		t.Fatalf("PerCube = %d entries, want %d", len(res.PerCube), net.Cubes)
+	}
+	var pim uint64
+	for i, pc := range res.PerCube {
+		if pc.Launches == 0 || pc.HMC.PIMOps == 0 {
+			t.Errorf("node %d idle: %+v", i, pc)
+		}
+		pim += pc.HMC.PIMOps
+	}
+	if pim != res.PIMOps {
+		t.Errorf("per-cube PIM ops %d != total %d", pim, res.PIMOps)
+	}
+	if len(res.Links) == 0 {
+		t.Error("no inter-cube links reported")
 	}
 }

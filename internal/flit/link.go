@@ -1,0 +1,42 @@
+package flit
+
+// LinkCounters accumulates the transaction-level occupancy of one
+// directed serial link: packets forwarded, FLITs serialized, and wire
+// bytes. The multi-cube network keeps one per directed inter-cube link
+// (owned by the egress cube's engine domain, so hot-path updates need
+// no synchronization); hmcprobe and the per-run Result report them as
+// the per-link FLIT occupancy table.
+type LinkCounters struct {
+	Packets uint64
+	Flits   uint64
+	Bytes   uint64
+}
+
+// AddPacket records one packet of n FLITs crossing the link.
+//
+//coolpim:hotpath
+func (lc *LinkCounters) AddPacket(n int) {
+	lc.Packets++
+	lc.Flits += uint64(n)
+	lc.Bytes += uint64(n) * FlitBytes
+}
+
+// AddRequest records a request packet of the given command (Table I
+// request occupancy).
+func (lc *LinkCounters) AddRequest(c Command, withReturn bool) {
+	lc.AddPacket(RequestFlits(c, withReturn))
+}
+
+// AddResponse records a response packet of the given command (Table I
+// response occupancy).
+func (lc *LinkCounters) AddResponse(c Command, withReturn bool) {
+	lc.AddPacket(ResponseFlits(c, withReturn))
+}
+
+// Add accumulates another counter set (used when aggregating per-link
+// tallies into per-cube or network totals).
+func (lc *LinkCounters) Add(o LinkCounters) {
+	lc.Packets += o.Packets
+	lc.Flits += o.Flits
+	lc.Bytes += o.Bytes
+}

@@ -1,0 +1,30 @@
+package flit
+
+import "testing"
+
+func TestLinkCountersTableI(t *testing.T) {
+	var lc LinkCounters
+	lc.AddRequest(CmdRead64, false)  // 1 FLIT
+	lc.AddResponse(CmdRead64, false) // 5 FLITs
+	lc.AddRequest(CmdWrite64, false) // 5 FLITs
+	lc.AddRequest(CmdPIMSignedAdd, true)
+	lc.AddResponse(CmdPIMSignedAdd, true) // 2 + 2 FLITs
+
+	if lc.Packets != 5 {
+		t.Fatalf("Packets = %d, want 5", lc.Packets)
+	}
+	wantFlits := uint64(1 + 5 + 5 + 2 + 2)
+	if lc.Flits != wantFlits {
+		t.Fatalf("Flits = %d, want %d", lc.Flits, wantFlits)
+	}
+	if lc.Bytes != wantFlits*FlitBytes {
+		t.Fatalf("Bytes = %d, want %d", lc.Bytes, wantFlits*FlitBytes)
+	}
+
+	var total LinkCounters
+	total.Add(lc)
+	total.Add(lc)
+	if total.Flits != 2*lc.Flits || total.Packets != 2*lc.Packets || total.Bytes != 2*lc.Bytes {
+		t.Fatalf("Add aggregate mismatch: %+v vs 2x %+v", total, lc)
+	}
+}

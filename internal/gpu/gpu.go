@@ -150,6 +150,13 @@ type GPU struct {
 	cube   *hmc.Cube
 	policy core.Policy
 
+	// net/nodeID, when set (SetNetwork), route memory traffic through the
+	// multi-cube network from this GPU's node instead of directly into
+	// the attached cube; addresses homed at the local cube still take the
+	// single-cube path inside Network.Submit.
+	net    *hmc.Network
+	nodeID int
+
 	sms []*smState
 	l2  *cache.Cache
 
@@ -902,15 +909,30 @@ func (g *GPU) invalidateForPIM(addr uint64) {
 func (g *GPU) fillL2(line uint64, dirty bool) {
 	ev, evDirty, has := g.l2.Fill(line, dirty)
 	if has && evDirty {
-		// Dirty L2 victim writes back to the cube (fire and forget).
+		// Dirty L2 victim writes back to memory (fire and forget) —
+		// through the network when one is attached, so victims of remote
+		// lines land at their home cube.
 		g.tagSeq++
-		g.cube.Submit(g.eng.Now(), flit.Request{Tag: g.tagSeq, Cmd: flit.CmdWrite64, Addr: ev}, g.observeCb)
+		g.submitAt(g.eng.Now(), flit.Request{Tag: g.tagSeq, Cmd: flit.CmdWrite64, Addr: ev}, g.observeCb)
 	}
 }
 
-// submitAt injects a request into the cube with link entry no earlier
+// SetNetwork attaches the GPU to node of a multi-cube network; all
+// memory traffic then routes by home cube (the attached cube keeps
+// serving local addresses). Must be called before Launch.
+func (g *GPU) SetNetwork(net *hmc.Network, node int) {
+	g.net = net
+	g.nodeID = node
+}
+
+// submitAt injects a request into memory with link entry no earlier
 // than t, returning the credit-clear (accepted) time.
+//
+//coolpim:hotpath
 func (g *GPU) submitAt(t units.Time, req flit.Request, done func(flit.Response, units.Time)) units.Time {
+	if g.net != nil {
+		return g.net.Submit(g.nodeID, t, req, done)
+	}
 	return g.cube.Submit(t, req, done)
 }
 

@@ -27,6 +27,11 @@ type reqState struct {
 	resp      flit.Response
 	sp        telemetry.Span
 	done      func(resp flit.Response, at units.Time)
+	// netDone, when set, marks a request that arrived over the inter-cube
+	// network (Cube.ServeRemote): the response leaves via a network egress
+	// port instead of a host response link, so dataReady skips the host
+	// serializer and hands the completion time + ERRSTAT to the network.
+	netDone   func(at units.Time, e flit.ErrStat)
 	dataFn    sim.Event // pre-bound r.dataReady
 	deliverFn sim.Event // pre-bound r.deliver
 	next      *reqState
@@ -53,6 +58,7 @@ func (c *Cube) getReq() *reqState {
 // pool never pins a workload's callback graph.
 func (c *Cube) putReq(r *reqState) {
 	r.done = nil
+	r.netDone = nil
 	r.sp = telemetry.Span{}
 	r.next = c.freeReq
 	c.freeReq = r
@@ -70,11 +76,14 @@ func (r *reqState) dataReady(at units.Time) {
 	c.counters.BusQueueSum += busStart - at
 	busDone := busStart + r.busTime
 	r.v.busBusy = busDone
-	if busy := c.respLinks[r.lid].busyUntil; busy > busDone {
-		c.counters.RespQueueSum += busy - busDone
+	deliver := busDone
+	if r.netDone == nil {
+		if busy := c.respLinks[r.lid].busyUntil; busy > busDone {
+			c.counters.RespQueueSum += busy - busDone
+		}
+		respStart := c.respLinks[r.lid].book(busDone, r.respFlits)
+		deliver = respStart + c.cfg.LinkLatency
 	}
-	respStart := c.respLinks[r.lid].book(busDone, r.respFlits)
-	deliver := respStart + c.cfg.LinkLatency
 	switch r.kind {
 	case dram.ReadAccess:
 		c.counters.ReadLatencySum += deliver - r.submitAt
@@ -93,10 +102,20 @@ func (r *reqState) dataReady(at units.Time) {
 //coolpim:hotpath
 func (r *reqState) deliver(at units.Time) {
 	c := r.c
+	var errStat flit.ErrStat
 	if c.warning && !c.DisableThermalEffects {
-		r.resp.ErrStat = flit.ErrThermalWarning
+		errStat = flit.ErrThermalWarning
 	}
 	r.sp.End(at)
+	if nd := r.netDone; nd != nil {
+		// Network-served request: the cube stamps its own ERRSTAT here —
+		// at its egress — so the warning travels back to the source node
+		// in the response tail, exactly like the host-link path.
+		c.putReq(r)
+		nd(at, errStat) //coolpim:allow hotalloc completion callback is inherently dynamic; the network's handler is proven by its own hotpath root
+		return
+	}
+	r.resp.ErrStat = errStat
 	done, resp := r.done, r.resp
 	c.putReq(r)
 	done(resp, at) //coolpim:allow hotalloc completion callback is inherently dynamic; the caller's handler is proven by its own hotpath root

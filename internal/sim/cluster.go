@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"coolpim/internal/units"
+)
+
+// Cluster coordinates several Engines ("domains") under a conservative
+// time-window barrier, the classic conservative-parallel DES scheme:
+// simulated time advances in windows [T, T+L) where T is the earliest
+// pending event across all domains and L is the lookahead (the minimum
+// latency of any cross-domain interaction, here the inter-cube link
+// latency). Within a window every domain executes its own events on its
+// own engine — serially or on parallel shard workers — and all
+// cross-domain communication is buffered in per-domain outboxes. At the
+// window boundary the outboxes are merged in a canonical order and
+// delivered, so the schedule each destination engine sees is
+// independent of how domains are assigned to workers.
+//
+// Determinism: within a domain the engine's exact (at, seq) tie-break
+// orders events as always. Across domains, every message carries its
+// (at, src, seq) key and the barrier merge sorts by (dst, at, src, seq)
+// before scheduling, so destination sequence numbers — and therefore
+// same-timestamp tie-breaks — are assigned identically for every shard
+// count, including the serial reference driver. The differential tests
+// in cluster_test.go and system/multicube_test.go pin byte-identity of
+// serial vs sharded execution.
+type Cluster struct {
+	lookahead units.Time
+	engines   []*Engine
+	xlabel    []Label // per-domain pre-interned "xshard" delivery label
+	shards    int
+
+	out     [][]xmsg // per-source outbox, filled during a window
+	sendSeq []uint64 // per-source monotonic message counter
+	merged  []xmsg   // barrier merge scratch, reused across windows
+
+	// halted is the cluster-wide stop flag. It may be raised from any
+	// domain's event (possibly on a shard worker goroutine), so it is
+	// atomic; the drivers only observe it at window boundaries, which
+	// keeps the stopping point deterministic.
+	halted atomic.Bool
+}
+
+// xmsg is one buffered cross-domain event.
+type xmsg struct {
+	at  units.Time
+	src int32
+	dst int32
+	seq uint64
+	ev  Event
+}
+
+// CausalityError is the panic value raised when a cross-domain send
+// targets a time inside the sender's current lookahead window: such an
+// event could land in a window the destination has already executed,
+// breaking the conservative barrier's correctness guarantee.
+type CausalityError struct {
+	At        units.Time // requested delivery time
+	Now       units.Time // sender's engine time at the send
+	Lookahead units.Time
+	Src, Dst  int
+}
+
+func (e *CausalityError) Error() string {
+	return fmt.Sprintf("sim: cross-domain send %d->%d at %v violates lookahead %v (sender now %v)",
+		e.Src, e.Dst, e.At, e.Lookahead, e.Now)
+}
+
+// NewCluster builds a cluster of `domains` fresh engines with the given
+// lookahead. A non-positive lookahead is rejected: with zero lookahead
+// every window is empty and conservative parallel execution cannot make
+// progress (and would silently serialize), so it always indicates a
+// configuration bug.
+func NewCluster(lookahead units.Time, domains int) (*Cluster, error) {
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: cluster lookahead must be positive, got %v", lookahead)
+	}
+	if domains <= 0 {
+		return nil, fmt.Errorf("sim: cluster needs at least one domain, got %d", domains)
+	}
+	c := &Cluster{
+		lookahead: lookahead,
+		engines:   make([]*Engine, domains),
+		xlabel:    make([]Label, domains),
+		out:       make([][]xmsg, domains),
+		sendSeq:   make([]uint64, domains),
+	}
+	for i := range c.engines {
+		e := New()
+		c.engines[i] = e
+		c.xlabel[i] = e.Label("xshard")
+	}
+	return c, nil
+}
+
+// Domains returns the number of domains.
+func (c *Cluster) Domains() int { return len(c.engines) }
+
+// Domain returns domain i's engine. Components of domain i must be
+// built on (and schedule only on) this engine.
+func (c *Cluster) Domain(i int) *Engine { return c.engines[i] }
+
+// Lookahead returns the cluster lookahead.
+func (c *Cluster) Lookahead() units.Time { return c.lookahead }
+
+// SetShards fixes how many worker shards execute windows: 1 selects the
+// serial reference driver (domains executed in ascending id order on
+// the calling goroutine), n > 1 a parallel driver with min(n, domains)
+// workers, and 0 (the default) auto-sizes to one worker per domain.
+// Results are byte-identical for every value — the shard count is a
+// wall-clock knob only.
+func (c *Cluster) SetShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.shards = n
+}
+
+// Shards returns the configured shard count (0 = auto).
+func (c *Cluster) Shards() int { return c.shards }
+
+// Send schedules ev on domain dst at absolute time at. It must be
+// called from within an event executing on domain src (components hold
+// their own domain id), and at must respect the lookahead: at least the
+// sender's current time plus the cluster lookahead. Violations panic
+// with *CausalityError. Delivery happens at the next window barrier in
+// canonical (at, src, seq) merge order, so results do not depend on the
+// shard assignment of src and dst.
+//
+//coolpim:hotpath
+func (c *Cluster) Send(src, dst int, at units.Time, ev Event) {
+	e := c.engines[src]
+	if at < e.now+c.lookahead {
+		panic(&CausalityError{At: at, Now: e.now, Lookahead: c.lookahead, Src: src, Dst: dst})
+	}
+	c.sendSeq[src]++
+	c.out[src] = append(c.out[src], xmsg{at: at, src: int32(src), dst: int32(dst), seq: c.sendSeq[src], ev: ev}) //coolpim:allow hotalloc outbox append; capacity is retained across windows, growth is bounded by peak per-window cross traffic
+}
+
+// Halt stops the cluster at the current window boundary: every domain
+// finishes the window it is in (a domain that additionally halts its
+// own engine stops immediately), then the driver returns. Safe to call
+// from any domain's event, including on shard workers.
+func (c *Cluster) Halt() { c.halted.Store(true) }
+
+// Halted reports whether the cluster has been halted.
+func (c *Cluster) Halted() bool { return c.halted.Load() }
+
+// Pending returns the total number of queued events across domains.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, e := range c.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// nextTime returns the earliest pending event time across non-halted
+// domains.
+func (c *Cluster) nextTime() (units.Time, bool) {
+	var best units.Time
+	found := false
+	for _, e := range c.engines {
+		if e.halted || e.queue.len() == 0 {
+			continue
+		}
+		if at := e.queue.minAt(); !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// windowLimit clamps a window starting at T to the run bound t. The
+// engines' step(limit) executes events with at <= limit, so the
+// conservative window [T, T+L) maps to limit = T+L-1; the final window
+// is clamped to t inclusively, matching Engine.RunUntil semantics.
+func (c *Cluster) windowLimit(T, t units.Time) units.Time {
+	limit := T + c.lookahead - 1
+	if limit > t || limit < T { // clamp, and guard (theoretical) overflow
+		limit = t
+	}
+	return limit
+}
+
+// deliver is the window barrier's merge step: it drains every outbox,
+// sorts the messages by the canonical (dst, at, src, seq) key — a total
+// order, since (src, seq) is unique — and schedules them on their
+// destination engines in that order. Destination seq numbers are
+// therefore assigned canonically, making same-timestamp tie-breaks at
+// the destination independent of shard count and worker interleaving.
+func (c *Cluster) deliver() {
+	m := c.merged[:0]
+	for s := range c.out {
+		m = append(m, c.out[s]...)
+		c.out[s] = c.out[s][:0]
+	}
+	if len(m) > 1 {
+		slices.SortFunc(m, func(a, b xmsg) int {
+			switch {
+			case a.dst != b.dst:
+				return int(a.dst) - int(b.dst)
+			case a.at != b.at:
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			case a.src != b.src:
+				return int(a.src) - int(b.src)
+			case a.seq < b.seq:
+				return -1
+			default:
+				return 1
+			}
+		})
+	}
+	for i := range m {
+		msg := &m[i]
+		e := c.engines[msg.dst]
+		e.atID(msg.at, uint16(c.xlabel[msg.dst]), msg.ev)
+		msg.ev = nil // do not pin delivered events in the scratch buffer
+	}
+	c.merged = m[:0]
+}
+
+// RunUntil executes events with timestamps <= t across all domains,
+// window by window, then advances every non-halted engine's clock to t
+// (mirroring Engine.RunUntil). It returns the latest domain time.
+func (c *Cluster) RunUntil(t units.Time) units.Time {
+	for _, e := range c.engines {
+		if ro, ok := e.obs.(RunObserver); ok {
+			ro.RunStarted(e.now)
+		}
+	}
+	workers := c.shards
+	if workers < 1 || workers > len(c.engines) {
+		workers = len(c.engines)
+	}
+	if workers > 1 {
+		c.runParallel(t, workers)
+	} else {
+		c.runSerial(t)
+	}
+	if !c.halted.Load() {
+		for _, e := range c.engines {
+			if !e.halted && e.now < t {
+				e.now = t
+			}
+		}
+	}
+	var end units.Time
+	for _, e := range c.engines {
+		if e.now > end {
+			end = e.now
+		}
+		if ro, ok := e.obs.(RunObserver); ok {
+			ro.RunEnded(e.now)
+		}
+	}
+	return end
+}
+
+// runSerial is the retained serial reference driver: identical window
+// and merge semantics, domains executed in ascending id order on the
+// calling goroutine. The differential tests compare its results byte
+// for byte against runParallel's.
+func (c *Cluster) runSerial(t units.Time) {
+	for !c.halted.Load() {
+		T, ok := c.nextTime()
+		if !ok || T > t {
+			return
+		}
+		limit := c.windowLimit(T, t)
+		for _, e := range c.engines {
+			for e.step(limit) {
+			}
+		}
+		c.deliver()
+	}
+}
+
+// runParallel executes windows on `workers` shard goroutines, domain d
+// assigned to worker d mod workers; the caller doubles as worker 0. The
+// channel send publishing each window's limit and the WaitGroup
+// completion form the happens-before edges that make outbox and engine
+// state hand-offs race-free, and the merge at each barrier makes the
+// results byte-identical to runSerial's.
+func (c *Cluster) runParallel(t units.Time, workers int) {
+	aux := workers - 1
+	chans := make([]chan units.Time, aux)
+	var lifetime sync.WaitGroup
+	var window sync.WaitGroup
+	for w := 0; w < aux; w++ {
+		ch := make(chan units.Time, 1)
+		chans[w] = ch
+		wid := w + 1
+		lifetime.Add(1)
+		//coolpim:allow determinism shard worker: executes whole windows of domains it exclusively owns; all cross-domain effects are buffered and merged in canonical order at the barrier, so event interleaving is provably schedule-independent
+		go func() {
+			defer lifetime.Done()
+			for limit := range ch {
+				for d := wid; d < len(c.engines); d += workers {
+					e := c.engines[d]
+					for e.step(limit) {
+					}
+				}
+				window.Done()
+			}
+		}()
+	}
+	for !c.halted.Load() {
+		T, ok := c.nextTime()
+		if !ok || T > t {
+			break
+		}
+		limit := c.windowLimit(T, t)
+		window.Add(aux)
+		for _, ch := range chans {
+			ch <- limit
+		}
+		for d := 0; d < len(c.engines); d += workers {
+			e := c.engines[d]
+			for e.step(limit) {
+			}
+		}
+		window.Wait()
+		c.deliver()
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	lifetime.Wait()
+}

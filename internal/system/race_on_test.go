@@ -1,0 +1,10 @@
+//go:build race
+
+package system
+
+// raceEnabled reports that this binary was built with the race
+// detector. The multi-cube differential matrix costs ~15x under the
+// detector; race-built tests shrink it to one parallel configuration —
+// enough for the detector, while the full byte-identity matrix runs in
+// the non-race job.
+const raceEnabled = true

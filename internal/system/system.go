@@ -33,6 +33,13 @@ type Config struct {
 	Power    power.Model
 	Throttle core.Config
 
+	// Net describes the multi-cube HMC network. The zero value (and any
+	// Cubes <= 1) disables it: the run takes the single-cube serial path
+	// with byte-identical outputs. When enabled, RunWorkloads replicates
+	// the full platform per cube node and shards the event engine
+	// (multicube.go).
+	Net hmc.NetworkConfig
+
 	// PIMPeakRate is the platform's peak offloading rate used by Eq. 1.
 	// The paper measures it "by performing a simple trial run on the
 	// target platform": on this simulated host the most PIM-intensive
@@ -153,6 +160,11 @@ type Result struct {
 	Series           []Sample
 	FinalPoolSize    int
 	InitialPoolSize  int
+
+	// Multi-cube runs only: per-node results and the final per-link FLIT
+	// occupancy of the inter-cube network (empty for single-cube runs).
+	PerCube []CubeResult
+	Links   []hmc.LinkStat
 }
 
 // Speedup returns base.Runtime / r.Runtime.
@@ -172,7 +184,20 @@ func (r *Result) NormalizedBW(base *Result) float64 {
 }
 
 // Run executes one workload under one policy and returns its result.
+// With a multi-cube network configured it builds one workload replica
+// per cube node and dispatches to RunWorkloads.
 func Run(workloadName string, policy core.PolicyKind, cfg Config, g *graph.Graph) (*Result, error) {
+	if cfg.Net.Enabled() {
+		ws := make([]kernels.Workload, cfg.Net.Cubes)
+		for i := range ws {
+			w, err := kernels.New(workloadName)
+			if err != nil {
+				return nil, err
+			}
+			ws[i] = w
+		}
+		return RunWorkloads(ws, policy, cfg, g)
+	}
 	w, err := kernels.New(workloadName)
 	if err != nil {
 		return nil, err
@@ -180,8 +205,13 @@ func Run(workloadName string, policy core.PolicyKind, cfg Config, g *graph.Graph
 	return RunWorkload(w, policy, cfg, g)
 }
 
-// RunWorkload is Run for an already-constructed workload.
+// RunWorkload is Run for an already-constructed workload (single-cube
+// only; multi-cube configurations need one workload replica per node —
+// see RunWorkloads).
 func RunWorkload(w kernels.Workload, policy core.PolicyKind, cfg Config, g *graph.Graph) (*Result, error) {
+	if cfg.Net.Enabled() {
+		return nil, fmt.Errorf("system: multi-cube config (%d cubes) needs RunWorkloads with one workload replica per node", cfg.Net.Cubes)
+	}
 	eng := sim.New()
 	// Steady-state queue depth is bounded by resident warps (each with at
 	// most a couple of in-flight events) plus the HMC's in-flight

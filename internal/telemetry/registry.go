@@ -85,9 +85,12 @@ func (c *Counter) Value() float64 { return c.v }
 
 // funcMetric is a counter or gauge whose value is read from a callback
 // at export time — the natural fit for the simulator's existing
-// cumulative Stats structs.
+// cumulative Stats structs. series is the full exposition series name
+// (base name plus an optional one-label set); name stays the base
+// metric name, under which HELP/TYPE headers are grouped.
 type funcMetric struct {
 	name, help, typ string
+	series          string
 	fn              func() float64
 }
 
@@ -95,14 +98,55 @@ type funcMetric struct {
 // maintained elsewhere, e.g. an hmc.Counters field).
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.claim(name)
-	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "counter", fn: fn})
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "counter", series: name, fn: fn})
 }
 
 // GaugeFunc registers a callback-backed gauge (an instantaneous value,
 // e.g. the current peak DRAM temperature or token-pool size).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.claim(name)
-	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "gauge", fn: fn})
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "gauge", series: name, fn: fn})
+}
+
+// labelEscaper applies Prometheus label-value escaping.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// claimSeries validates and claims one labeled series of a base metric,
+// enforcing that every series of the base name shares one type.
+func (r *Registry) claimSeries(name, key, val, typ string) string {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if !validMetricName(key) || strings.Contains(key, ":") {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", key))
+	}
+	for _, f := range r.funcs {
+		if f.name == name && f.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.typ, typ))
+		}
+	}
+	series := fmt.Sprintf("%s{%s=%q}", name, key, labelEscaper.Replace(val))
+	if r.names[series] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", series))
+	}
+	r.names[series] = true
+	return series
+}
+
+// CounterFuncLabeled registers one labeled series of a callback-backed
+// counter, e.g. coolpim_pim_ops_total{cube="2"}. All series sharing the
+// base name are emitted under one HELP/TYPE header; the first
+// registration's help string wins.
+func (r *Registry) CounterFuncLabeled(name, help, key, val string, fn func() float64) {
+	series := r.claimSeries(name, key, val, "counter")
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "counter", series: series, fn: fn})
+}
+
+// GaugeFuncLabeled registers one labeled series of a callback-backed
+// gauge, e.g. coolpim_peak_dram_celsius{cube="2"}.
+func (r *Registry) GaugeFuncLabeled(name, help, key, val string, fn func() float64) {
+	series := r.claimSeries(name, key, val, "gauge")
+	r.funcs = append(r.funcs, &funcMetric{name: name, help: help, typ: "gauge", series: series, fn: fn})
 }
 
 // Histogram accumulates observations into fixed buckets, Prometheus
@@ -256,11 +300,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(w, "%s %s\n", c.name, formatValue(c.v))
 		}})
 	}
+	// Func metrics group by base name: one HELP/TYPE header per metric,
+	// then every series (plain or labeled) in sorted series order.
+	groups := make(map[string][]*funcMetric)
+	var groupNames []string
 	for _, f := range r.funcs {
-		f := f
-		entries = append(entries, entry{f.name, func(w io.Writer) {
-			writeHeader(w, f.name, f.help, f.typ)
-			fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		if _, seen := groups[f.name]; !seen {
+			groupNames = append(groupNames, f.name)
+		}
+		groups[f.name] = append(groups[f.name], f)
+	}
+	for _, name := range groupNames {
+		name, group := name, groups[name]
+		help, typ := group[0].help, group[0].typ // first registration wins
+		sort.Slice(group, func(i, j int) bool { return group[i].series < group[j].series })
+		entries = append(entries, entry{name, func(w io.Writer) {
+			writeHeader(w, name, help, typ)
+			for _, f := range group {
+				fmt.Fprintf(w, "%s %s\n", f.series, formatValue(f.fn()))
+			}
 		}})
 	}
 	for _, h := range r.hists {
@@ -313,7 +371,7 @@ func (r *Registry) Snapshot() []MetricRow {
 		rows = append(rows, MetricRow{c.name, formatValue(c.v)})
 	}
 	for _, f := range r.funcs {
-		rows = append(rows, MetricRow{f.name, formatValue(f.fn())})
+		rows = append(rows, MetricRow{f.series, formatValue(f.fn())})
 	}
 	for _, h := range r.hists {
 		mean := math.NaN()

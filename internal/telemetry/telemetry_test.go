@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -150,6 +151,54 @@ func TestWritePrometheusFormat(t *testing.T) {
 		}
 		prevName = name
 	}
+}
+
+func TestLabeledFuncMetrics(t *testing.T) {
+	reg := NewRegistry()
+	for cube := 0; cube < 3; cube++ {
+		cube := cube
+		reg.CounterFuncLabeled("pim_ops_total", "PIM ops served", "cube", strconv.Itoa(cube),
+			func() float64 { return float64(100 + cube) })
+	}
+	reg.GaugeFuncLabeled("peak_celsius", "peak temp", "cube", "0", func() float64 { return 86.5 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pim_ops_total{cube="0"} 100`,
+		`pim_ops_total{cube="1"} 101`,
+		`pim_ops_total{cube="2"} 102`,
+		`peak_celsius{cube="0"} 86.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header for the whole labeled family.
+	if got := strings.Count(out, "# TYPE pim_ops_total counter"); got != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1:\n%s", got, out)
+	}
+
+	// Duplicate series and cross-type reuse of a base name must panic.
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate labeled series", func() {
+		reg.CounterFuncLabeled("pim_ops_total", "", "cube", "1", func() float64 { return 0 })
+	})
+	mustPanic("type mismatch on base name", func() {
+		reg.GaugeFuncLabeled("pim_ops_total", "", "cube", "9", func() float64 { return 0 })
+	})
+	mustPanic("invalid label name", func() {
+		reg.CounterFuncLabeled("ok_total", "", "bad label", "x", func() float64 { return 0 })
+	})
 }
 
 func TestTracerKindsAndJSONL(t *testing.T) {
