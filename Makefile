@@ -4,7 +4,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 VETTOOL := bin/coolpim-vet
 
-.PHONY: all build test vet lint lint-fixtures race bench bench-json bench-smoke figs-check accuracy-check sweep-smoke obs-smoke clean
+.PHONY: all build test vet lint lint-fixtures race bench bench-json bench-smoke figs-check accuracy-check sweep-smoke obs-smoke serve-smoke clean
 
 # Default: a tree that builds, passes the static-analysis suite, and
 # passes the tests — in that order, so lint failures surface fast.
@@ -122,6 +122,14 @@ sweep-smoke:
 # trace_event JSON (see scripts/obs_smoke.sh).
 obs-smoke:
 	scripts/obs_smoke.sh
+
+# serve-smoke exercises the simulation service end to end: coolpim-serve
+# on an ephemeral port, three concurrent identical campaign submissions,
+# asserting exactly one execution (two cache hits), byte-identical
+# responses, and one ledger entry per matrix cell (see
+# scripts/serve_smoke.sh).
+serve-smoke:
+	scripts/serve_smoke.sh
 
 clean:
 	rm -f BENCH_full_*.json trace.jsonl metrics.prom series.csv

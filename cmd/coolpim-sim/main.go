@@ -30,37 +30,31 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
 	"coolpim/internal/graph"
-	"coolpim/internal/hmc"
 	"coolpim/internal/kernels"
+	"coolpim/internal/specflag"
 	"coolpim/internal/system"
 	"coolpim/internal/telemetry"
 	"coolpim/internal/telemetry/diagserver"
-	"coolpim/internal/thermal"
 	"coolpim/internal/units"
 )
 
 func main() {
-	workload := flag.String("workload", "dc", "workload: "+strings.Join(kernels.Names(), ", "))
-	policy := flag.String("policy", "coolpim-hw", "policy: "+strings.Join(core.PolicyNames(), ", "))
-	scale := flag.Int("scale", 16, "RMAT graph scale (2^scale vertices)")
-	edgeFactor := flag.Int("ef", 8, "edges per vertex")
-	seed := flag.Int64("seed", 42, "graph seed")
-	reps := flag.Int("reps", 2, "workload repetitions")
-	cooling := flag.String("cooling", "commodity", "cooling: "+strings.Join(thermal.CoolingNames(), ", "))
-	cubes := flag.Int("cubes", 1, "number of HMC cubes (>1 networks them and runs one workload replica per cube)")
-	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
-	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
-	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
-	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
-	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
-	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
+	// Workload, graph, cooling, thermal-tier and network selection come
+	// from the shared spec flag groups (see internal/specflag), so this
+	// CLI accepts and rejects exactly the same run descriptions as the
+	// campaign front ends and the coolpim-serve JSON API; the telemetry
+	// export flags stay local.
+	binder := specflag.New()
+	binder.SingleRun(flag.CommandLine)
+	binder.Cooling(flag.CommandLine)
+	binder.Thermal(flag.CommandLine)
+	binder.Network(flag.CommandLine)
 	traceOut := flag.String("trace-out", "", "write the telemetry event trace as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format to this file")
 	seriesOut := flag.String("series-out", "", "write the telemetry time series as CSV to this file")
@@ -72,49 +66,25 @@ func main() {
 	diagHold := flag.Duration("diag-hold", 0, "keep the diagnostics server up this long after the run completes")
 	flag.Parse()
 
-	if *scale <= 0 {
-		fatalf("-scale must be positive (got %d)", *scale)
-	}
-	if *edgeFactor <= 0 {
-		fatalf("-ef must be positive (got %d)", *edgeFactor)
-	}
-	if *reps <= 0 {
-		fatalf("-reps must be positive (got %d)", *reps)
-	}
 	if *sampleEvery <= 0 {
 		fatalf("-sample-every must be positive (got %v)", *sampleEvery)
 	}
 
-	pol, err := core.ParsePolicy(*policy)
+	spec, err := binder.Spec()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cool, err := thermal.ParseCooling(*cooling)
+	prof, err := spec.BuildProfile()
 	if err != nil {
 		fatalf("%v", err)
 	}
-
-	mode, err := system.ParseThermalMode(*thermalMode)
+	cfg := prof.Sys
+	workload, policy := spec.Workloads[0], spec.Policies[0]
+	pol, err := core.ParsePolicy(policy)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if *powerDelta < 0 {
-		fatalf("-power-delta must be non-negative (got %v)", *powerDelta)
-	}
-	if *maxThermalInterval < 0 {
-		fatalf("-max-thermal-interval must be non-negative (got %v)", *maxThermalInterval)
-	}
-
-	cfg := experiments.ScaledConfig(*scale)
-	cfg.Cooling = cool
-	cfg.ThermalMode = mode
-	cfg.PowerDeltaThreshold = units.Watt(*powerDelta)
-	cfg.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
-	cfg.Net, err = hmc.FlagConfig(*cubes, *topology,
-		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	cool := cfg.Cooling
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *metricsOut != "" || *seriesOut != "" ||
@@ -123,7 +93,7 @@ func main() {
 		cfg.Telemetry = tel
 		cfg.TelemetrySample = units.FromNanoseconds(float64(sampleEvery.Nanoseconds()))
 		tel.Spans.SetWallClock(func() int64 { return time.Now().UnixNano() })
-		tel.RunID = fmt.Sprintf("%s/%s", *workload, *policy)
+		tel.RunID = fmt.Sprintf("%s/%s", workload, policy)
 	}
 	if tel.Enabled() && (*flightOut != "" || *diagAddr != "") {
 		tel.Flight = telemetry.NewFlightRecorder(0)
@@ -168,13 +138,13 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("generating LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", *scale, *edgeFactor, *seed)
-	g := graph.GenRMAT(*scale, *edgeFactor, graph.LDBCLikeParams(), *seed)
+	fmt.Printf("generating LDBC-like RMAT graph: scale=%d ef=%d seed=%d\n", prof.Scale, prof.EdgeFactor, prof.Seed)
+	g := graph.GenRMAT(prof.Scale, prof.EdgeFactor, graph.LDBCLikeParams(), prof.Seed)
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumV, g.NumE())
 
 	ws := make([]kernels.Workload, cfg.Net.Cubes)
 	for i := range ws {
-		w, err := kernels.NewSized(*workload, *reps)
+		w, err := kernels.NewSized(workload, prof.Reps)
 		if err != nil {
 			fatalf("%v", err)
 		}

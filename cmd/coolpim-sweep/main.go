@@ -30,20 +30,16 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
-	"runtime"
-	"strings"
 	"sync"
 	"time"
 
+	"coolpim/internal/atomicfile"
 	"coolpim/internal/core"
 	"coolpim/internal/experiments"
-	"coolpim/internal/hmc"
 	runnerpkg "coolpim/internal/runner"
-	"coolpim/internal/system"
+	"coolpim/internal/specflag"
 	"coolpim/internal/telemetry"
 	"coolpim/internal/telemetry/diagserver"
-	"coolpim/internal/units"
 )
 
 func main() {
@@ -51,29 +47,23 @@ func main() {
 }
 
 func run() int {
-	profileName := flag.String("profile", "paper", "system profile: paper, full, quick, test")
-	workloadsFlag := flag.String("workloads", "", "comma-separated workloads (default: full paper set)")
-	policiesFlag := flag.String("policies", "", "comma-separated policies: "+strings.Join(core.PolicyNames(), ", ")+" (default: all)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent runs")
-	timeout := flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = none)")
-	retries := flag.Int("retries", 0, "retry budget per run")
-	backoff := flag.Duration("backoff", time.Second, "base retry backoff (doubles per attempt)")
-	failFast := flag.Bool("fail-fast", false, "stop dispatching new runs after the first failure")
+	// The campaign description — profile, matrix selection, thermal and
+	// network knobs, execution limits — comes from the shared spec flag
+	// groups, so this CLI and the coolpim-serve JSON API accept and
+	// reject exactly the same campaigns.
+	binder := specflag.New()
+	binder.Profile(flag.CommandLine)
+	binder.Matrix(flag.CommandLine)
+	binder.Runner(flag.CommandLine)
+	binder.Thermal(flag.CommandLine)
+	binder.Network(flag.CommandLine)
 	ledgerPath := flag.String("ledger", "", "JSONL run ledger path (enables checkpointing)")
 	resume := flag.Bool("resume", false, "reuse completed runs from the ledger (requires -ledger)")
 	outPath := flag.String("out", "", "write the report here instead of stdout")
 	metricsOut := flag.String("metrics-out", "", "write campaign metrics (Prometheus text format) here")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
-	interruptAfter := flag.Int("interrupt-after", 0, "test hook: exit(3) after N executed runs, simulating a mid-campaign kill")
 	diagAddr := flag.String("diag-addr", "", "serve live campaign diagnostics over HTTP on this address")
 	flightDir := flag.String("flight-dir", "", "dump the flight ring of panicking/deadline-blown runs into this directory")
-	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (bit-identical outputs) or adaptive (interval-based, epsilon-bounded, faster)")
-	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
-	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
-	cubes := flag.Int("cubes", 1, "number of HMC cubes per run (>1 networks them, one workload replica per cube)")
-	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
-	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
-	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -85,43 +75,19 @@ func run() int {
 		return 2
 	}
 
-	prof, ok := profileByName(*profileName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
-		return 2
-	}
-	mode, err := system.ParseThermalMode(*thermalMode)
+	spec, err := binder.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	if *powerDelta < 0 || *maxThermalInterval < 0 {
-		fmt.Fprintln(os.Stderr, "-power-delta and -max-thermal-interval must be non-negative")
 		return 2
 	}
 	// The coupling knobs are part of the profile hash, so a ledger
-	// recorded under one tier is never silently reused by the other.
-	prof.Sys.ThermalMode = mode
-	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
-	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
-	// The network config is part of the profile name and hash, so a
+	// recorded under one tier is never silently reused by the other; the
+	// network config is part of the profile name and hash, so a
 	// single-cube ledger is never resumed into a multi-cube campaign.
-	net, err := hmc.FlagConfig(*cubes, *topology,
-		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
+	prof, err := spec.BuildProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
-	}
-	prof = experiments.MultiCubeProfile(prof, net)
-	workloads := splitList(*workloadsFlag)
-	var policies []core.PolicyKind
-	for _, name := range splitList(*policiesFlag) {
-		pol, err := core.ParsePolicy(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		policies = append(policies, pol)
 	}
 
 	var ledger *runnerpkg.Ledger
@@ -147,18 +113,14 @@ func run() int {
 
 	tel := telemetry.New()
 	tel.Spans.SetWallClock(func() int64 { return time.Now().UnixNano() })
-	opts := experiments.MatrixOpts{
-		Workloads: workloads,
-		Policies:  policies,
-		Parallel:  *parallel,
-		Timeout:   *timeout,
-		Retries:   *retries,
-		Backoff:   *backoff,
-		FailFast:  *failFast,
-		Ledger:    ledger,
-		Telemetry: tel,
-		FlightDir: *flightDir,
+	opts, err := spec.BuildMatrixOpts()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
+	opts.Ledger = ledger
+	opts.Telemetry = tel
+	opts.FlightDir = *flightDir
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -182,6 +144,7 @@ func run() int {
 		}
 	}
 
+	mf := &metricsFlusher{path: *metricsOut}
 	var executed, fromLedger, failed int
 	opts.OnRunDone = func(key string, err error, ledgered bool) {
 		if diag != nil {
@@ -194,9 +157,7 @@ func run() int {
 		}
 		// Flush metrics after every completion so a killed campaign
 		// still leaves a consistent (atomically renamed) metrics file.
-		if merr := writeMetrics(*metricsOut, tel); merr != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", merr)
-		}
+		mf.flush(tel)
 		switch {
 		case ledgered:
 			fromLedger++
@@ -204,11 +165,14 @@ func run() int {
 			failed++
 		default:
 			executed++
-			if *interruptAfter > 0 && executed >= *interruptAfter {
+			if spec.InterruptAfter > 0 && executed >= spec.InterruptAfter {
 				// The run's ledger entry is durable (appended and fsynced
 				// before this callback), and the metrics flush above has
 				// landed; exiting here simulates a kill arriving
 				// mid-campaign.
+				if line := mf.report(); line != "" {
+					fmt.Fprintln(os.Stderr, line)
+				}
 				fmt.Fprintf(os.Stderr, "interrupt-after: stopping after %d executed runs\n", executed)
 				os.Exit(3)
 			}
@@ -216,10 +180,11 @@ func run() int {
 	}
 
 	rows, err := experiments.RunMatrixOpts(context.Background(), prof, opts)
-	if merr := writeMetrics(*metricsOut, tel); merr != nil {
-		fmt.Fprintln(os.Stderr, "metrics:", merr)
-	}
+	mf.flush(tel)
 	if err != nil {
+		if line := mf.report(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
 		fmt.Fprintln(os.Stderr, "campaign failed:")
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -236,57 +201,48 @@ func run() int {
 		out = f
 	}
 	report(out, prof, rows)
+	if line := mf.report(); line != "" {
+		fmt.Fprintln(out, line)
+		fmt.Fprintln(out)
+	}
 	fmt.Printf("campaign: %d cells, executed %d, from ledger %d, failed %d\n",
 		executed+fromLedger+failed, executed, fromLedger, failed)
 	return 0
 }
 
-func profileByName(name string) (experiments.Profile, bool) {
-	switch name {
-	case "paper":
-		return experiments.PaperProfile(), true
-	case "full":
-		return experiments.FullProfile(), true
-	case "quick":
-		return experiments.QuickProfile(), true
-	case "test":
-		return experiments.TestProfile(), true
-	}
-	return experiments.Profile{}, false
+// metricsFlusher dumps the campaign registry atomically (temp+rename
+// with guaranteed temp cleanup, see internal/atomicfile) after every
+// completed run. Flush failures are remembered — first error plus a
+// count — and surfaced exactly once in the campaign report instead of
+// spamming one line per completed run.
+type metricsFlusher struct {
+	path     string
+	firstErr error
+	failures int
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, v := range strings.Split(s, ",") {
-		if v = strings.TrimSpace(v); v != "" {
-			out = append(out, v)
-		}
+func (m *metricsFlusher) flush(tel *telemetry.Telemetry) {
+	if m.path == "" {
+		return
 	}
-	return out
+	err := atomicfile.Write(m.path, tel.Registry.WritePrometheus)
+	if err == nil {
+		return
+	}
+	m.failures++
+	if m.firstErr == nil {
+		m.firstErr = err
+	}
 }
 
-// writeMetrics dumps the campaign registry atomically: the text is
-// rendered into a temp file in the destination directory and renamed
-// over the target, so readers (and a mid-campaign kill) never observe a
-// half-written file.
-func writeMetrics(path string, tel *telemetry.Telemetry) error {
-	if path == "" {
-		return nil
+// report prints the one-line summary of any flush failures ("" when
+// every flush landed).
+func (m *metricsFlusher) report() string {
+	if m.firstErr == nil {
+		return ""
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
-	if err != nil {
-		return err
-	}
-	if err := tel.Registry.WritePrometheus(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fmt.Sprintf("metrics: %d flush(es) to %s failed; first error: %v",
+		m.failures, m.path, m.firstErr)
 }
 
 // report prints the campaign results as one table per metric family,

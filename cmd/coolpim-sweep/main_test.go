@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coolpim/internal/telemetry"
+)
+
+// TestMetricsFlusherSurfacesErrorOnce pins the -metrics-out failure
+// handling: repeated flushes into an unwritable target record the first
+// error plus a count, report() surfaces them exactly once, and no
+// orphaned temp files are left next to the target.
+func TestMetricsFlusherSurfacesErrorOnce(t *testing.T) {
+	dir := t.TempDir()
+	// An existing non-empty directory at the target path makes the
+	// atomic rename fail on every flush.
+	target := filepath.Join(dir, "metrics.prom")
+	if err := os.MkdirAll(filepath.Join(target, "occupant"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	mf := &metricsFlusher{path: target}
+	for i := 0; i < 3; i++ {
+		mf.flush(tel)
+	}
+	if mf.failures != 3 || mf.firstErr == nil {
+		t.Fatalf("failures = %d, firstErr = %v; want 3 recorded failures", mf.failures, mf.firstErr)
+	}
+	line := mf.report()
+	if !strings.Contains(line, "3 flush(es)") || !strings.Contains(line, target) {
+		t.Fatalf("report line = %q", line)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("flush failure leaked temp file %s", e.Name())
+		}
+	}
+
+	// A healthy target reports nothing.
+	ok := &metricsFlusher{path: filepath.Join(dir, "ok.prom")}
+	ok.flush(tel)
+	if ok.report() != "" {
+		t.Fatalf("healthy flusher reported %q", ok.report())
+	}
+}
+
+// A disabled flusher (no -metrics-out) is inert.
+func TestMetricsFlusherDisabled(t *testing.T) {
+	mf := &metricsFlusher{}
+	mf.flush(telemetry.New())
+	if mf.report() != "" || mf.failures != 0 {
+		t.Fatalf("disabled flusher recorded state: %+v", mf)
+	}
+}

@@ -18,6 +18,11 @@
 //	    Fetch a URL and copy the body to stdout (exit 1 on transport
 //	    error or non-2xx status). Exists so the smoke test does not
 //	    depend on curl being installed.
+//
+//	coolpim-trace -post http://addr/path -data '{...}' [-header K:V]
+//	    POST a JSON body (-data @file reads it from a file) and copy the
+//	    response body to stdout; response headers go to stderr with -v.
+//	    The HTTP client side of the coolpim-serve smoke test.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
 	"coolpim/internal/telemetry"
 )
@@ -37,9 +43,17 @@ func main() {
 	outPath := flag.String("out", "", "output trace_event JSON path (default stdout)")
 	checkPath := flag.String("check", "", "validate a trace_event JSON file instead of converting")
 	getURL := flag.String("get", "", "fetch a URL and copy the body to stdout instead of converting")
+	postURL := flag.String("post", "", "POST -data to a URL and copy the response body to stdout")
+	data := flag.String("data", "", "request body for -post (@file reads it from a file)")
+	header := flag.String("header", "", "extra request header for -post, as Key:Value")
+	verbose := flag.Bool("v", false, "with -post, print the response status and headers to stderr")
 	flag.Parse()
 
 	switch {
+	case *postURL != "":
+		if err := post(*postURL, *data, *header, *verbose); err != nil {
+			fatalf("post %s: %v", *postURL, err)
+		}
 	case *getURL != "":
 		if err := get(*getURL); err != nil {
 			fatalf("get %s: %v", *getURL, err)
@@ -55,7 +69,7 @@ func main() {
 			fatalf("convert: %v", err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -events/-spans, -check, or -get (see -h)")
+		fmt.Fprintln(os.Stderr, "specify -events/-spans, -check, -get, or -post (see -h)")
 		os.Exit(2)
 	}
 }
@@ -132,6 +146,52 @@ func check(path string) (int, error) {
 		}
 	}
 	return len(entries), nil
+}
+
+// post sends a JSON POST and copies the response body to stdout. A
+// non-2xx status is an error (exit 1), so shell pipelines can assert on
+// success without parsing; -v dumps status and headers to stderr for
+// assertions on X-Cache and friends.
+func post(url, data, header string, verbose bool) error {
+	body := data
+	if strings.HasPrefix(data, "@") {
+		b, err := os.ReadFile(data[1:])
+		if err != nil {
+			return err
+		}
+		body = string(b)
+	}
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		k, v, ok := strings.Cut(header, ":")
+		if !ok {
+			return fmt.Errorf("malformed -header %q (want Key:Value)", header)
+		}
+		req.Header.Set(strings.TrimSpace(k), strings.TrimSpace(v))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "status: %s\n", resp.Status)
+		for _, k := range []string{"X-Cache", "X-Run-Id", "Retry-After", "Location"} {
+			if v := resp.Header.Get(k); v != "" {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", k, v)
+			}
+		}
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %s: %s", resp.Status, b)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 func get(url string) error {

@@ -22,30 +22,29 @@ import (
 	"coolpim/internal/core"
 	"coolpim/internal/dram"
 	"coolpim/internal/experiments"
-	"coolpim/internal/hmc"
 	"coolpim/internal/runner"
-	"coolpim/internal/system"
+	"coolpim/internal/specflag"
 	"coolpim/internal/telemetry"
 	"coolpim/internal/telemetry/diagserver"
 	"coolpim/internal/units"
 )
 
 func main() {
+	// Platform, thermal-tier and network selection come from the shared
+	// spec flag groups (see internal/specflag), so figures accepts and
+	// rejects exactly the same platform descriptions as the other front
+	// ends; the figure/experiment selection flags stay local.
+	binder := specflag.New()
+	binder.Profile(flag.CommandLine)
+	binder.Thermal(flag.CommandLine)
+	binder.Network(flag.CommandLine)
 	exp := flag.String("exp", "", "experiment id (table1..table4, fig1..fig5, fig10..fig14)")
-	profileName := flag.String("profile", "paper", "system profile: paper, full, quick, test")
 	all := flag.Bool("all", false, "run everything")
 	analytic := flag.Bool("analytic", false, "run the analytic tables and figures only")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	ledgerPath := flag.String("ledger", "", "JSONL run ledger for the system matrix (checkpointing)")
 	resume := flag.Bool("resume", false, "reuse completed matrix runs from the ledger (requires -ledger)")
 	diagAddr := flag.String("diag-addr", "", "serve live matrix diagnostics over HTTP on this address")
-	thermalMode := flag.String("thermal-mode", "exact", "thermal coupling tier: exact (byte-identical committed figures) or adaptive (interval-based, epsilon-bounded exploration)")
-	powerDelta := flag.Float64("power-delta", 0, "adaptive tier: per-vault-cell power change in watts that forces an immediate exact solve (0 = built-in default)")
-	maxThermalInterval := flag.Duration("max-thermal-interval", 0, "adaptive tier: cap on the coalesced solve window, simulated time (0 = built-in default)")
-	cubes := flag.Int("cubes", 1, "number of HMC cubes per run (>1 networks them, one workload replica per cube)")
-	topology := flag.String("topology", "chain", "inter-cube link topology: "+strings.Join(hmc.TopologyNames(), ", "))
-	linkLatency := flag.Duration("link-latency", 0, "per-hop inter-cube link latency, simulated time (0 = built-in default)")
-	shards := flag.Int("shards", 0, "engine shards for multi-cube runs: 0 = one per cube, 1 = serial reference")
 	flag.Parse()
 
 	if *resume && *ledgerPath == "" {
@@ -53,28 +52,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	prof := profileByName(*profileName)
-	mode, err := system.ParseThermalMode(*thermalMode)
+	spec, err := binder.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *powerDelta < 0 || *maxThermalInterval < 0 {
-		fmt.Fprintln(os.Stderr, "-power-delta and -max-thermal-interval must be non-negative")
-		os.Exit(2)
-	}
-	prof.Sys.ThermalMode = mode
-	prof.Sys.PowerDeltaThreshold = units.Watt(*powerDelta)
-	prof.Sys.MaxThermalInterval = units.FromNanoseconds(float64(maxThermalInterval.Nanoseconds()))
 	// Folded into the profile name and config hash: multi-cube figure
 	// runs are ledgered and reported separately from single-cube ones.
-	net, err := hmc.FlagConfig(*cubes, *topology,
-		units.FromNanoseconds(float64(linkLatency.Nanoseconds())), *shards)
+	prof, err := spec.BuildProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	prof = experiments.MultiCubeProfile(prof, net)
 
 	analyticIDs := []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5"}
 	systemIDs := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "ablations"}
@@ -186,22 +175,6 @@ func main() {
 			os.Exit(2)
 		}
 	}
-}
-
-func profileByName(name string) experiments.Profile {
-	switch name {
-	case "paper":
-		return experiments.PaperProfile()
-	case "full":
-		return experiments.FullProfile()
-	case "quick":
-		return experiments.QuickProfile()
-	case "test":
-		return experiments.TestProfile()
-	}
-	fmt.Fprintf(os.Stderr, "unknown profile %q\n", name)
-	os.Exit(2)
-	return experiments.Profile{}
 }
 
 func printTable1() {

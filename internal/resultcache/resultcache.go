@@ -1,0 +1,217 @@
+// Package resultcache is a content-addressed, on-disk memo of completed
+// simulation results, keyed by the campaign spec's CacheKey. It gives
+// the serving layer two guarantees:
+//
+//   - Exactly-once execution: N concurrent requests for the same key
+//     trigger one computation; the rest join the in-flight call
+//     (singleflight) or read the finished entry from disk.
+//   - Self-verifying storage: every entry is an envelope carrying the
+//     key it was stored under and the sha256 of its payload. A corrupt,
+//     truncated, or misplaced entry reads as a cache miss — never as a
+//     wrong result and never as an error — and is overwritten by the
+//     next completion.
+//
+// Entries are written atomically (internal/atomicfile), so a crash
+// mid-write leaves either the old entry or none, and concurrent readers
+// never observe a half-written file.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"coolpim/internal/atomicfile"
+)
+
+// envelope is the on-disk entry format. Key and SHA256 make the entry
+// self-verifying: a file renamed to the wrong key, or flipped bits in
+// the payload, fail verification and read as a miss.
+type envelope struct {
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// flight is one in-progress computation; joiners block on done.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Store is a content-addressed result cache over one directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits        atomic.Int64 // disk hits + in-flight joins
+	misses      atomic.Int64
+	corrupt     atomic.Int64 // entries dropped by verification
+	executions  atomic.Int64 // computations that ran and succeeded
+	failures    atomic.Int64 // computations that ran and failed
+	writeErrors atomic.Int64 // completed results that could not be persisted
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Corrupt     int64
+	Executions  int64
+	Failures    int64
+	WriteErrors int64
+	Inflight    int64
+}
+
+// Open returns a Store over dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Store{dir: dir, flights: make(map[string]*flight)}, nil
+}
+
+// validKey rejects keys that could escape the cache directory or
+// collide with temp files. Spec cache keys are sha256 hex digests;
+// anything in that shape (plus dashes/underscores for tests) passes.
+func validKey(key string) bool {
+	if key == "" || len(key) > 255 {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get reads the entry for key, verifying the envelope. Any failure —
+// absent file, unparseable envelope, key mismatch, payload digest
+// mismatch — is a miss; corruption is counted but never surfaced as an
+// error, because the caller's recovery is identical: recompute.
+// Get does not count hits/misses (Do does, once per request); it
+// reports only whether a verified entry exists.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.corrupt.Add(1)
+		}
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Key != key || env.SHA256 != hex.EncodeToString(sum[:]) {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// put persists data under key atomically.
+func (s *Store) put(key string, data []byte) error {
+	sum := sha256.Sum256(data)
+	env := envelope{Key: key, SHA256: hex.EncodeToString(sum[:]), Payload: data}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("resultcache: marshal %s: %w", key, err)
+	}
+	if err := atomicfile.WriteBytes(s.path(key), b); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// Do returns the cached result for key, computing it at most once
+// across all concurrent callers. hit reports whether the result came
+// from the cache (a verified disk entry or a join on the in-flight
+// computation) rather than from this call's own compute. A failed
+// compute is returned to every waiting caller and nothing is cached —
+// the next request retries. A result that computes but fails to
+// persist is still returned (and counted in WriteErrors): the disk is
+// an optimization, not the source of truth.
+func (s *Store) Do(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	if !validKey(key) {
+		return nil, false, fmt.Errorf("resultcache: invalid key %q", key)
+	}
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		s.hits.Add(1)
+		return f.data, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	finish := func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+	}
+
+	if cached, ok := s.Get(key); ok {
+		f.data = cached
+		finish()
+		s.hits.Add(1)
+		return cached, true, nil
+	}
+
+	s.misses.Add(1)
+	data, err = compute()
+	if err != nil {
+		s.failures.Add(1)
+		f.err = err
+		finish()
+		return nil, false, err
+	}
+	s.executions.Add(1)
+	if werr := s.put(key, data); werr != nil {
+		s.writeErrors.Add(1)
+	}
+	f.data = data
+	finish()
+	return data, false, nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	inflight := int64(len(s.flights))
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Executions:  s.executions.Load(),
+		Failures:    s.failures.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		Inflight:    inflight,
+	}
+}

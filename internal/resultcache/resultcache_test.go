@@ -1,0 +1,278 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+const key = "a3f8c2d9e1b4a3f8c2d9e1b4a3f8c2d9e1b4a3f8c2d9e1b4a3f8c2d9e1b4aabb"
+
+// TestDoComputesExactlyOnceUnderContention is the singleflight
+// guarantee: many concurrent requests for one key run the computation
+// once, everyone gets byte-identical data, and every request but the
+// computing one counts as a cache hit.
+func TestDoComputesExactlyOnceUnderContention(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]byte, clients)
+	hits := make([]bool, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, hit, err := s.Do(key, func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold the flight open so joiners pile up
+				return []byte(`{"answer":42}`), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = data, hit
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want exactly 1", n)
+	}
+	nhits := 0
+	for i := range results {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("result %d differs: %s vs %s", i, results[i], results[0])
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	if nhits != clients-1 {
+		t.Fatalf("%d hits, want %d (everyone but the computer)", nhits, clients-1)
+	}
+	st := s.Stats()
+	if st.Hits != clients-1 || st.Misses != 1 || st.Executions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCorruptEntriesAreMissesNotErrors pins the self-verification
+// contract for every corruption shape: truncation, garbage, a payload
+// bit-flip, and an entry renamed to the wrong key all read as misses,
+// recompute cleanly, and leave a repaired entry behind.
+func TestCorruptEntriesAreMissesNotErrors(t *testing.T) {
+	good := []byte(`{"rows":[1,2,3]}`)
+	corruptions := []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload bit-flip", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mangled := bytes.Replace(b, []byte(`[1,2,3]`), []byte(`[1,2,4]`), 1)
+			if bytes.Equal(mangled, b) {
+				t.Fatal("mangle did not change the payload")
+			}
+			if err := os.WriteFile(path, mangled, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong key", func(t *testing.T, path string) {
+			var env envelope
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatal(err)
+			}
+			env.Key = "0000000000000000000000000000000000000000000000000000000000000000"
+			b, err = json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Do(key, func() ([]byte, error) { return good, nil }); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, s.path(key))
+
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry read as a hit")
+			}
+			var recomputed bool
+			data, hit, err := s.Do(key, func() ([]byte, error) { recomputed = true; return good, nil })
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced as error: %v", err)
+			}
+			if hit || !recomputed {
+				t.Fatalf("corrupt entry served from cache (hit=%v recomputed=%v)", hit, recomputed)
+			}
+			if !bytes.Equal(data, good) {
+				t.Fatalf("recompute returned %s", data)
+			}
+			if st := s.Stats(); st.Corrupt == 0 {
+				t.Fatalf("corruption not counted: %+v", st)
+			}
+			// The recompute must have repaired the entry on disk.
+			if repaired, ok := s.Get(key); !ok || !bytes.Equal(repaired, good) {
+				t.Fatalf("entry not repaired: ok=%v data=%s", ok, repaired)
+			}
+		})
+	}
+}
+
+// TestCachedResultIsByteIdenticalAcrossReopen pins the memoization
+// contract the HTTP server's idempotence rests on: a fresh Store over
+// the same directory serves the exact bytes of the original
+// computation without re-running it.
+func TestCachedResultIsByteIdenticalAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, hit, err := s1.Do(key, func() ([]byte, error) {
+		return []byte(`{"rows":[{"workload":"dc","speedup":1.568}]}`), nil
+	})
+	if err != nil || hit {
+		t.Fatalf("first Do: hit=%v err=%v", hit, err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, hit, err := s2.Do(key, func() ([]byte, error) {
+		return nil, errors.New("must not recompute")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("reopened store missed a persisted entry")
+	}
+	if !bytes.Equal(cached, fresh) {
+		t.Fatalf("cached bytes differ:\n  fresh  %s\n  cached %s", fresh, cached)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 || st.Executions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFailedComputeIsNotCached: an error reaches every concurrent
+// caller, nothing lands on disk, and the next request retries.
+func TestFailedComputeIsNotCached(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("solver diverged")
+	if _, _, err := s.Do(key, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Fatal("failed compute left an entry on disk")
+	}
+	data, hit, err := s.Do(key, func() ([]byte, error) { return []byte(`{}`), nil })
+	if err != nil || hit || string(data) != `{}` {
+		t.Fatalf("retry after failure: data=%s hit=%v err=%v", data, hit, err)
+	}
+	if st := s.Stats(); st.Failures != 1 || st.Executions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestInvalidKeysRejected: keys that could escape the cache directory
+// are errors, not file operations.
+func TestInvalidKeysRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", "a.b", "key with spaces", "..", "x\x00y"} {
+		if _, _, err := s.Do(bad, func() ([]byte, error) { return []byte("{}"), nil }); err == nil {
+			t.Errorf("key %q accepted", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("Get(%q) hit", bad)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("invalid keys created files: %v", ents)
+	}
+}
+
+// TestManyKeysConcurrently shakes the flights map under a racing mix
+// of distinct and colliding keys (the race detector does the real
+// checking here).
+func TestManyKeysConcurrently(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("key%02d", i%8)
+			data, _, err := s.Do(k, func() ([]byte, error) {
+				return []byte(fmt.Sprintf(`{"k":%q}`, k)), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if want := fmt.Sprintf(`{"k":%q}`, k); string(data) != want {
+				t.Errorf("key %s returned %s", k, data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Executions != 8 || st.Hits+st.Misses != 64 || st.Inflight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

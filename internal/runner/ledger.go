@@ -23,13 +23,21 @@ const (
 // finished — at worst with one torn trailing line, which resume
 // tolerates.
 type Entry struct {
-	Key        string          `json:"key"`
-	ConfigHash string          `json:"config_hash"`
-	Status     string          `json:"status"`
-	Attempts   int             `json:"attempts,omitempty"`
-	WallMs     float64         `json:"wall_ms,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	Key        string `json:"key"`
+	ConfigHash string `json:"config_hash"`
+	Status     string `json:"status"`
+	// Ok is the explicit success marker resume keys on: it asserts that
+	// Result — even when empty — faithfully encodes the job's value. A
+	// successful run whose value serializes to JSON null is recorded
+	// payload-free with Ok set, so it is still reused on resume instead
+	// of silently re-simulated (the old heuristic treated any entry
+	// without a payload as incomplete). A success whose value could not
+	// be serialized at all is recorded with Ok unset and re-runs.
+	Ok       bool            `json:"ok,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	WallMs   float64         `json:"wall_ms,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
 }
 
 // Ledger is the append-only JSONL run ledger behind checkpoint/resume.
@@ -116,7 +124,10 @@ func (l *Ledger) Resumable() int {
 }
 
 // Completed returns the successful entry for key, provided it was
-// produced under the same config hash and carries a result payload.
+// produced under the same config hash and carries a reusable result:
+// either the explicit Ok marker (which covers legitimately empty
+// payloads) or, for entries written before the marker existed, a
+// non-empty payload.
 func (l *Ledger) Completed(key, configHash string) (Entry, bool) {
 	if l == nil {
 		return Entry{}, false
@@ -124,7 +135,7 @@ func (l *Ledger) Completed(key, configHash string) (Entry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e, ok := l.done[key]
-	if !ok || e.ConfigHash != configHash || len(e.Result) == 0 {
+	if !ok || e.ConfigHash != configHash || (!e.Ok && len(e.Result) == 0) {
 		return Entry{}, false
 	}
 	return e, true

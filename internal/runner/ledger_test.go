@@ -164,6 +164,141 @@ func TestLedgerFailedEntriesAreRerun(t *testing.T) {
 	}
 }
 
+// TestLedgerResumeReusesZeroValueResult pins the ok-marker fix: a
+// successfully completed job whose result is the zero value of its type
+// — here a nil slice, which serializes to JSON null and is stored
+// payload-free — must be reused on resume, not silently re-simulated.
+func TestLedgerResumeReusesZeroValueResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	const hash = "cfg-zero"
+	var ran atomic.Int64
+	job := func() Job[[]int] {
+		return Job[[]int]{Key: "cell", Run: func(context.Context) ([]int, error) {
+			ran.Add(1)
+			return nil, nil // success; zero-value result
+		}}
+	}
+
+	l, err := OpenLedger(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Config{Ledger: l, ConfigHash: hash}, []Job[[]int]{job()}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if ran.Load() != 1 {
+		t.Fatalf("first campaign ran %d jobs, want 1", ran.Load())
+	}
+
+	// The entry must carry the explicit success marker (the payload is
+	// legitimately absent: the value serialized to null).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ok":true`) {
+		t.Fatalf("ledger entry missing ok marker: %s", data)
+	}
+	if strings.Contains(string(data), `"result"`) {
+		t.Fatalf("null result should be stored payload-free: %s", data)
+	}
+
+	l2, err := OpenLedger(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	res, err := Run(context.Background(), Config{Ledger: l2, ConfigHash: hash}, []Job[[]int]{job()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("resume re-simulated the zero-value result: ran %d total, want 1", ran.Load())
+	}
+	if !res[0].FromLedger || res[0].Value != nil {
+		t.Fatalf("resumed result = %+v, want FromLedger zero value", res[0])
+	}
+}
+
+// TestLedgerCompletedKeysOnOkMarker covers the marker semantics
+// directly: Ok entries are reusable even without a payload, pre-marker
+// entries stay reusable through the non-empty-payload fallback, and a
+// success whose value could not be serialized (no marker, no payload)
+// still re-runs.
+func TestLedgerCompletedKeysOnOkMarker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	l, err := OpenLedger(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{
+		{Key: "marked-empty", ConfigHash: "h", Status: StatusOK, Ok: true},
+		{Key: "legacy-payload", ConfigHash: "h", Status: StatusOK, Result: []byte(`{"n":1}`)},
+		{Key: "unserializable", ConfigHash: "h", Status: StatusOK},
+	}
+	for _, e := range entries {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, err := OpenLedger(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, tc := range []struct {
+		key  string
+		want bool
+	}{
+		{"marked-empty", true},
+		{"legacy-payload", true},
+		{"unserializable", false},
+	} {
+		if _, ok := l2.Completed(tc.key, "h"); ok != tc.want {
+			t.Errorf("Completed(%q) = %v, want %v", tc.key, ok, tc.want)
+		}
+	}
+}
+
+// TestLedgerUnserializableResultRerunsOnResume pins that the marker is
+// only written when the payload is faithful: a result json.Marshal
+// rejects is recorded without it and re-runs.
+func TestLedgerUnserializableResultRerunsOnResume(t *testing.T) {
+	type unserializable struct {
+		C chan int `json:"c"`
+	}
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	var ran atomic.Int64
+	job := Job[unserializable]{Key: "cell", Run: func(context.Context) (unserializable, error) {
+		ran.Add(1)
+		return unserializable{C: make(chan int)}, nil
+	}}
+
+	l, err := OpenLedger(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Config{Ledger: l, ConfigHash: "h"}, []Job[unserializable]{job}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := OpenLedger(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := Run(context.Background(), Config{Ledger: l2, ConfigHash: "h"}, []Job[unserializable]{job}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("unserializable result reused from ledger: ran %d, want 2", ran.Load())
+	}
+}
+
 func TestHashConfigDeterministicAndSensitive(t *testing.T) {
 	type cfg struct {
 		A int

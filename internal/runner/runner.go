@@ -229,6 +229,13 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) ([]Result[R], er
 		results[i].Key = j.Key
 		if e, ok := cfg.Ledger.Completed(j.Key, cfg.ConfigHash); ok {
 			var v R
+			if len(e.Result) == 0 {
+				// Explicitly-Ok entry recorded payload-free: the value
+				// serialized to JSON null (e.g. a nil slice or pointer),
+				// which decodes to the zero value anyway.
+				results[i].FromLedger = true
+				continue
+			}
 			if err := json.Unmarshal(e.Result, &v); err == nil {
 				results[i].Value = v
 				results[i].FromLedger = true
@@ -529,9 +536,11 @@ func (m *metrics) jobDone(err error, attempts int, wall time.Duration) {
 }
 
 // entryFor converts a final outcome into its ledger record. Successful
-// results are serialized so a resumed campaign can reuse them; values
-// that fail to serialize are recorded without a payload and will be
-// re-run on resume.
+// results are serialized so a resumed campaign can reuse them, with the
+// explicit Ok marker asserting the payload (even an empty one) is
+// faithful: a value that serializes to JSON null is stored payload-free
+// but still Ok, and a value that fails to serialize at all is recorded
+// without the marker and will be re-run on resume.
 func entryFor[R any](r Result[R], configHash string) Entry {
 	e := Entry{
 		Key:        r.Key,
@@ -546,7 +555,10 @@ func entryFor[R any](r Result[R], configHash string) Entry {
 	}
 	e.Status = StatusOK
 	if b, err := json.Marshal(r.Value); err == nil {
-		e.Result = b
+		e.Ok = true
+		if string(b) != "null" {
+			e.Result = b
+		}
 	}
 	return e
 }

@@ -1,0 +1,455 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// front end that accepts experiments.CampaignSpec documents, schedules
+// them on the fault-tolerant runner, streams per-cell progress, and
+// memoizes completed results in a content-addressed cache
+// (internal/resultcache) keyed by the spec's CacheKey.
+//
+// The contract the layer is built around: POSTing the same campaign
+// twice returns byte-identical results, and the second request never
+// re-enters the runner — it is served from the cache, or joins the
+// in-flight execution if the first request is still running. Admission
+// control bounds how many campaigns simulate at once (per-tenant FIFO
+// queues drained round-robin, 429 + Retry-After past the queue limit);
+// cache hits bypass admission entirely.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"coolpim/internal/core"
+	"coolpim/internal/experiments"
+	"coolpim/internal/resultcache"
+	"coolpim/internal/runner"
+	"coolpim/internal/system"
+	"coolpim/internal/telemetry"
+)
+
+// maxSpecBytes bounds the request body; campaign specs are small JSON
+// documents, so anything bigger is garbage or abuse.
+const maxSpecBytes = 1 << 20
+
+// RunFunc executes one campaign and returns the response payload
+// (JSON). progress receives one call per completed matrix cell. The
+// server's default RunFunc runs real simulations; tests inject stubs.
+type RunFunc func(ctx context.Context, spec experiments.CampaignSpec, progress func(cell string, fromLedger bool, errMsg string)) ([]byte, error)
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir is the result cache directory (required).
+	CacheDir string
+	// LedgerPath, if non-empty, opens a shared JSONL run ledger with
+	// resume enabled: matrix cells completed by any earlier campaign
+	// (under the same profile hash) are reused instead of re-simulated,
+	// even across server restarts.
+	LedgerPath string
+	// MaxInflight bounds concurrently executing campaigns (< 1 = 1).
+	MaxInflight int
+	// MaxQueue bounds queued campaigns across all tenants; an arrival
+	// past the limit is rejected with 429 + Retry-After.
+	MaxQueue int
+	// RunFn overrides campaign execution (tests); nil runs real
+	// simulations via experiments.RunMatrixOpts.
+	RunFn RunFunc
+}
+
+// Server is the HTTP simulation service. Construct with New, mount
+// Handler, Close when done.
+type Server struct {
+	cfg    Config
+	store  *resultcache.Store
+	ledger *runner.Ledger
+	adm    *admission
+	runs   *registry
+	runFn  RunFunc
+	reg    *telemetry.Registry
+
+	requests atomic.Int64 // campaign submissions (POST /v1/runs)
+	rejected atomic.Int64 // 429 responses
+}
+
+// New builds a Server over cfg.
+func New(cfg Config) (*Server, error) {
+	store, err := resultcache.Open(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		adm:   newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		runs:  newRegistry(),
+		runFn: cfg.RunFn,
+	}
+	if s.runFn == nil {
+		s.runFn = s.runCampaign
+	}
+	if cfg.LedgerPath != "" {
+		// Always resume: the ledger is the server's cross-restart memory
+		// of completed cells, and profile hashing already guards against
+		// reusing entries from a different configuration.
+		l, err := runner.OpenLedger(cfg.LedgerPath, true)
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = l
+	}
+
+	// The registry holds only callback-backed metrics, so it is
+	// immutable after this block and safe for concurrent scrapes (the
+	// callbacks read atomics and mutex-guarded snapshots).
+	reg := telemetry.NewRegistry()
+	stat := func(pick func(resultcache.Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(s.store.Stats())) }
+	}
+	reg.CounterFunc("coolpim_cache_hits_total",
+		"Requests served from the result cache (disk entries and in-flight joins).",
+		stat(func(st resultcache.Stats) int64 { return st.Hits }))
+	reg.CounterFunc("coolpim_cache_misses_total",
+		"Requests that had to execute their campaign.",
+		stat(func(st resultcache.Stats) int64 { return st.Misses }))
+	reg.CounterFunc("coolpim_cache_corrupt_total",
+		"Cache entries dropped by envelope verification.",
+		stat(func(st resultcache.Stats) int64 { return st.Corrupt }))
+	reg.CounterFunc("coolpim_cache_write_errors_total",
+		"Completed results that could not be persisted.",
+		stat(func(st resultcache.Stats) int64 { return st.WriteErrors }))
+	reg.GaugeFunc("coolpim_cache_inflight",
+		"Campaign executions currently in flight.",
+		stat(func(st resultcache.Stats) int64 { return st.Inflight }))
+	reg.CounterFunc("coolpim_campaigns_executed_total",
+		"Campaigns that simulated to completion.",
+		stat(func(st resultcache.Stats) int64 { return st.Executions }))
+	reg.CounterFunc("coolpim_campaigns_failed_total",
+		"Campaigns whose execution failed.",
+		stat(func(st resultcache.Stats) int64 { return st.Failures }))
+	reg.CounterFunc("coolpim_requests_total",
+		"Campaign submissions received.",
+		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("coolpim_rejected_total",
+		"Submissions rejected by admission control (HTTP 429).",
+		func() float64 { return float64(s.rejected.Load()) })
+	reg.GaugeFunc("coolpim_admission_queue_depth",
+		"Campaigns waiting for an execution slot.",
+		func() float64 { return float64(s.adm.depth()) })
+	s.reg = reg
+	return s, nil
+}
+
+// Close releases the server's resources (the shared ledger).
+func (s *Server) Close() error { return s.ledger.Close() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleSubmit is POST /v1/runs: validate the spec, dedupe through the
+// result cache, and either return the payload (sync, the default) or a
+// 202 pointing at the status endpoint (?async=1).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var spec experiments.CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "body: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	rn, created := s.runs.getOrCreate(key, tenant)
+	if r.URL.Query().Get("async") == "1" {
+		if created {
+			//coolpim:allow determinism harness async submission: the campaign itself is internally deterministic; this goroutine only detaches it from the HTTP request
+			go s.execute(rn, spec, tenant)
+		}
+		state, _, _, _ := rn.snapshot()
+		w.Header().Set("Location", "/v1/runs/"+key)
+		writeJSON(w, http.StatusAccepted, statusDoc{ID: key, State: state})
+		return
+	}
+
+	data, hit, err := s.execute(rn, spec, tenant)
+	if err != nil {
+		var over ErrOverloaded
+		if errors.As(err, &over) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("X-Run-Id", key)
+	w.Write(data)
+}
+
+// execute resolves one submission through the result cache: a verified
+// disk entry and a join on an in-flight execution are both hits; only a
+// genuinely new campaign passes admission control and simulates. The
+// campaign runs under the background context — a client disconnect must
+// not kill an execution other requests may be joined on.
+func (s *Server) execute(rn *run, spec experiments.CampaignSpec, tenant string) (data []byte, hit bool, err error) {
+	data, hit, err = s.store.Do(rn.id, func() ([]byte, error) {
+		release, aerr := s.adm.acquire(context.Background(), tenant)
+		if aerr != nil {
+			return nil, aerr
+		}
+		t0 := time.Now() //coolpim:allow determinism harness wall-clock campaign timing for the Retry-After estimate; never feeds simulated state
+		defer func() {
+			release(time.Since(t0)) //coolpim:allow determinism harness wall-clock campaign timing for the Retry-After estimate; never feeds simulated state
+		}()
+		rn.emit(StateRunning, "", false, "")
+		return s.runFn(context.Background(), spec, func(cell string, fromLedger bool, errMsg string) {
+			rn.emit("", cell, fromLedger, errMsg)
+		})
+	})
+	rn.finishOnce(data, err)
+	return data, hit, err
+}
+
+// runCampaign is the real RunFunc: build the profile and runner options
+// from the spec, attach the shared resume ledger and the progress hook,
+// simulate, and marshal the result document.
+func (s *Server) runCampaign(ctx context.Context, spec experiments.CampaignSpec, progress func(cell string, fromLedger bool, errMsg string)) ([]byte, error) {
+	prof, err := spec.BuildProfile()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := spec.BuildMatrixOpts()
+	if err != nil {
+		return nil, err
+	}
+	opts.Ledger = s.ledger
+	opts.OnRunDone = func(cell string, err error, fromLedger bool) {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		progress(cell, fromLedger, msg)
+	}
+	rows, err := experiments.RunMatrixOpts(ctx, prof, opts)
+	if err != nil {
+		return nil, err
+	}
+	return marshalResult(spec, prof, rows)
+}
+
+// resultDoc is the response payload of a completed campaign. Maps are
+// keyed by the CLI policy spellings; encoding/json sorts map keys, so
+// the document is deterministic and safe to cache byte-for-byte.
+type resultDoc struct {
+	Profile      string                   `json:"profile"`
+	ConfigHash   string                   `json:"config_hash"`
+	Spec         experiments.CampaignSpec `json:"spec"`
+	Rows         []resultRow              `json:"rows"`
+	GmeanSpeedup map[string]float64       `json:"gmean_speedup,omitempty"`
+}
+
+type resultRow struct {
+	Workload string                    `json:"workload"`
+	Results  map[string]*system.Result `json:"results"`
+	Speedup  map[string]float64        `json:"speedup,omitempty"`
+}
+
+func marshalResult(spec experiments.CampaignSpec, prof experiments.Profile, rows []experiments.Row) ([]byte, error) {
+	hash, err := prof.ConfigHash()
+	if err != nil {
+		return nil, err
+	}
+	doc := resultDoc{
+		Profile:    prof.Name,
+		ConfigHash: hash,
+		Spec:       spec.Normalized(),
+		Rows:       make([]resultRow, 0, len(rows)),
+	}
+	var pols []core.PolicyKind
+	if len(rows) > 0 {
+		pols = experiments.SortedPolicies(rows[0])
+	}
+	for _, r := range rows {
+		row := resultRow{Workload: r.Workload, Results: make(map[string]*system.Result, len(r.Results))}
+		for _, p := range pols {
+			res := r.Results[p]
+			if res == nil {
+				continue
+			}
+			row.Results[policyName(p)] = res
+			// Speedup is NaN without a baseline column; NaN is not
+			// representable in JSON, so it is simply omitted.
+			if sp := r.Speedup(p); !math.IsNaN(sp) && !math.IsInf(sp, 0) {
+				if row.Speedup == nil {
+					row.Speedup = make(map[string]float64)
+				}
+				row.Speedup[policyName(p)] = sp
+			}
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	for _, p := range pols {
+		p := p
+		g := experiments.GeoMean(rows, func(r experiments.Row) float64 { return r.Speedup(p) })
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			continue
+		}
+		if doc.GmeanSpeedup == nil {
+			doc.GmeanSpeedup = make(map[string]float64)
+		}
+		doc.GmeanSpeedup[policyName(p)] = g
+	}
+	return json.Marshal(doc)
+}
+
+// policyName maps a PolicyKind back to its CLI spelling ("baseline",
+// "coolpim-hw", ...), the vocabulary specs are written in.
+func policyName(k core.PolicyKind) string {
+	for _, n := range core.PolicyNames() {
+		if p, err := core.ParsePolicy(n); err == nil && p == k {
+			return n
+		}
+	}
+	return k.String()
+}
+
+// statusDoc is the GET /v1/runs/{id} response (and the 202 body).
+type statusDoc struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Events int             `json:"events,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// handleStatus is GET /v1/runs/{id}: a point-in-time status document,
+// or — with ?watch=1 — a chunked JSONL stream of progress events that
+// closes after the terminal event.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rn, ok := s.runs.get(id)
+	if !ok {
+		// Not in this process's registry, but possibly completed by an
+		// earlier incarnation: the cache is the durable record.
+		if data, cached := s.store.Get(id); cached {
+			writeJSON(w, http.StatusOK, statusDoc{ID: id, State: StateDone, Result: data})
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown run "+id)
+		return
+	}
+	if r.URL.Query().Get("watch") == "1" {
+		s.watch(w, r, rn)
+		return
+	}
+	state, result, errMsg, events := rn.snapshot()
+	doc := statusDoc{ID: id, State: state, Events: events, Error: errMsg}
+	if state == StateDone {
+		doc.Result = result
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// watch streams a run's events as JSONL until the run finishes or the
+// client goes away. The backlog replays first, so a late watcher sees
+// the full history; the synthesized tail event covers the case where
+// the fan-out dropped the terminal event on a slow subscriber.
+func (s *Server) watch(w http.ResponseWriter, req *http.Request, rn *run) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	backlog, ch, cancel := rn.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, e := range backlog {
+		enc.Encode(e)
+		if terminal(e) {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case e := <-ch:
+			enc.Encode(e)
+			fl.Flush()
+			if terminal(e) {
+				return
+			}
+		case <-req.Context().Done():
+			return
+		case <-rn.done:
+			// Drain what the fan-out already queued, then synthesize the
+			// terminal state if it was dropped.
+			for {
+				select {
+				case e := <-ch:
+					enc.Encode(e)
+					fl.Flush()
+					if terminal(e) {
+						return
+					}
+				default:
+					state, _, errMsg, events := rn.snapshot()
+					enc.Encode(Event{Seq: events, State: state, Err: errMsg})
+					fl.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+func terminal(e Event) bool { return e.State == StateDone || e.State == StateFailed }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
